@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` file regenerates one of the paper's tables or
+figures (model mode) and times the real substrate underneath it with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1999)  # the paper's vintage

@@ -1,0 +1,67 @@
+"""Table 3 / Figures 15-16: NekTar-ALE timestep benchmark.
+
+Times one real timestep of the moving-mesh ALE solver (geometry
+rebuild, PCG solves) and one distributed-CG Helmholtz solve (the ALE
+parallel kernel: gather-scatter + allreduce), and regenerates the
+Table 3 strong-scaling comparison and Figure 15/16 breakdowns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.ale_bench import figure15_16, table3
+from repro.assembly.space import FunctionSpace
+from repro.machines.catalog import NETWORKS
+from repro.mesh.generators import rectangle_quads
+from repro.mesh.partition import partition_mesh
+from repro.ns.ale import ALENavierStokes2D
+from repro.parallel.distributed import DistributedHelmholtz
+from repro.parallel.simmpi import VirtualCluster
+
+
+def wobble(x0, y0, t):
+    s = np.sin(x0) * np.sin(y0)
+    return (x0 + 0.03 * s * np.sin(3 * t), y0 + 0.03 * s * np.cos(2 * t))
+
+
+@pytest.fixture(scope="module")
+def ale_solver():
+    mesh = rectangle_quads(2, 2, 0.0, np.pi, 0.0, np.pi)
+    one = lambda x, y, t: 1.0  # noqa: E731
+    zero = lambda x, y, t: 0.0  # noqa: E731
+    bcs = {t: (one, zero) for t in ("left", "right", "top", "bottom")}
+    ns = ALENavierStokes2D(mesh, 4, nu=0.05, dt=5e-3, velocity_bcs=bcs, motion=wobble)
+    ns.set_initial(one, zero)
+    ns.run(2)
+    return ns
+
+
+def test_table3_ale_step(benchmark, ale_solver):
+    benchmark.pedantic(ale_solver.step, rounds=2, iterations=1)
+    rows = table3()
+    assert rows
+
+
+def _distributed_solve():
+    mesh = rectangle_quads(4, 4, 0, 1, 0, 1)
+    parts = partition_mesh(mesh, 4)
+
+    def rank_fn(comm):
+        space = FunctionSpace(mesh, 3)
+        dh = DistributedHelmholtz(
+            comm, space, parts, 1.0, ("left", "right"), tol=1e-8
+        )
+        xq, yq = space.coords()
+        rhs = dh.assemble_rhs(np.sin(xq) * np.cos(yq))
+        return dh.solve(rhs)
+
+    net = NETWORKS["RoadRunner, myr-internode"]
+    return VirtualCluster(4, net).run(rank_fn)
+
+
+def test_fig15_16_distributed_cg(benchmark):
+    res = benchmark.pedantic(_distributed_solve, rounds=2, iterations=1)
+    assert len(res) == 4
+    for p in (16, 64):
+        fig = figure15_16(p)
+        assert fig

@@ -1,0 +1,69 @@
+"""Figures 1-6: BLAS kernel benchmarks (the Section 3.1 measurements).
+
+Times the real numpy-backed kernels on this host — the "PC" stand-in —
+in each figure's regime (in-L1, in-L2, out-of-cache, small matrices),
+and regenerates the multi-machine model curves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchkernels.blas_bench import FIGURES, figure_series
+from repro.linalg import blas
+
+IN_L1 = 512  # 4 KB vectors
+IN_MEM = 1 << 20  # 8 MB vectors
+
+
+def _check_series(figure):
+    for panel in ("left", "right"):
+        series = figure_series(figure, panel)
+        assert series
+        for x, y in series.values():
+            assert np.all(y > 0)
+
+
+@pytest.mark.parametrize("n", [IN_L1, IN_MEM], ids=["L1", "mem"])
+def test_fig1_dcopy(benchmark, rng, n):
+    x, y = rng.standard_normal(n), np.empty(n)
+    benchmark(blas.dcopy, x, y)
+    _check_series(1)
+
+
+@pytest.mark.parametrize("n", [IN_L1, IN_MEM], ids=["L1", "mem"])
+def test_fig2_daxpy(benchmark, rng, n):
+    x, y = rng.standard_normal(n), rng.standard_normal(n)
+    benchmark(blas.daxpy, 1.0001, x, y)
+    _check_series(2)
+
+
+@pytest.mark.parametrize("n", [IN_L1, IN_MEM], ids=["L1", "mem"])
+def test_fig3_ddot(benchmark, rng, n):
+    x, y = rng.standard_normal(n), rng.standard_normal(n)
+    benchmark(blas.ddot, x, y)
+    _check_series(3)
+
+
+@pytest.mark.parametrize("n", [32, 150], ids=["L1", "L2"])
+def test_fig4_dgemv(benchmark, rng, n):
+    a = rng.standard_normal((n, n))
+    x, y = rng.standard_normal(n), np.zeros(n)
+    benchmark(blas.dgemv, 1.0, a, x, 0.0, y)
+    _check_series(4)
+
+
+def test_fig5_dgemm_large(benchmark, rng):
+    n = 75
+    a, b = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+    c = np.zeros((n, n))
+    benchmark(blas.dgemm, 1.0, a, b, 0.0, c)
+    _check_series(5)
+
+
+def test_fig6_dgemm_small(benchmark, rng):
+    # "most of the calls to dgemm ... are for small n (10 or less)"
+    n = 10
+    a, b = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+    c = np.zeros((n, n))
+    benchmark(blas.dgemm, 1.0, a, b, 0.0, c)
+    _check_series(6)

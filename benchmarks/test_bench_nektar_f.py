@@ -1,0 +1,66 @@
+"""Table 2 / Figures 13-14: NekTar-F parallel timestep benchmark.
+
+Times one real timestep of the Fourier-parallel solver on a 2-rank
+simmpi cluster (real Alltoall transposes, real FFTs, real per-mode
+solves), and regenerates the Table 2 weak-scaling comparison and the
+Figure 13/14 stage breakdowns from the models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.nektar_f_bench import figure13_14, table2
+from repro.assembly.space import FunctionSpace
+from repro.machines.catalog import CPUS, NETWORKS
+from repro.mesh.generators import rectangle_quads
+from repro.ns.nektar_f import NekTarF
+from repro.parallel.simmpi import VirtualCluster
+
+
+def _run_steps(nsteps: int) -> float:
+    mesh = rectangle_quads(2, 1, 0.0, 2 * np.pi, 0.0, np.pi)
+
+    def rank_fn(comm):
+        space = FunctionSpace(mesh, 4)
+        bcs = {
+            t: (
+                lambda m, x, y, tt: 1.0 if m == 0 else 0.0,
+                lambda m, x, y, tt: 0.0,
+                lambda m, x, y, tt: 0.0,
+            )
+            for t in ("left",)
+        }
+        nf = NekTarF(
+            comm,
+            space,
+            nz=4,
+            nu=0.05,
+            dt=5e-3,
+            velocity_bcs=bcs,
+            pressure_dirichlet=("right",),
+            charge_compute=True,
+        )
+        nf.set_initial(
+            lambda m, x, y, t: 1.0 if m == 0 else 0.0,
+            lambda m, x, y, t: 0.0,
+            lambda m, x, y, t: 0.0,
+        )
+        nf.run(nsteps)
+        return comm.wall
+
+    cluster = VirtualCluster(
+        2, NETWORKS["RoadRunner, myr-internode"], cpu=CPUS["pentium-ii-450"]
+    )
+    return max(cluster.run(rank_fn))
+
+
+def test_table2_nektar_f_step(benchmark):
+    wall = benchmark.pedantic(_run_steps, args=(2,), rounds=2, iterations=1)
+    assert wall > 0
+    rows = table2()
+    assert rows
+
+
+def test_fig13_14_breakdowns(benchmark):
+    fig = benchmark(figure13_14, nprocs=4)
+    assert len(fig) == 8

@@ -1,0 +1,38 @@
+"""Figures 7-8: communication benchmarks on the simulated networks.
+
+Times the *real execution* of the NetPIPE ping-pong and the paper's
+synchronised MPI_Alltoall loop on simmpi clusters (threads + virtual
+clocks), and regenerates the Figure 7/8 model curves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchkernels.alltoall import figure8_series, simulated_alltoall
+from repro.benchkernels.netpipe import (
+    bandwidth_series,
+    latency_series,
+    simulated_pingpong,
+)
+
+
+@pytest.mark.parametrize(
+    "network", ["Muses, LAM", "RoadRunner, myr-internode", "T3E"]
+)
+def test_fig7_pingpong(benchmark, network):
+    result = benchmark(simulated_pingpong, network, 65536, 5)
+    assert result > 0
+    lat = latency_series()
+    bw = bandwidth_series()
+    assert network in lat and network in bw
+    assert np.all(lat[network][1] > 0)
+
+
+@pytest.mark.parametrize("nprocs", [4, 8])
+def test_fig8_alltoall(benchmark, nprocs):
+    result = benchmark(
+        simulated_alltoall, "RoadRunner, myr-internode", nprocs, 32768, 3
+    )
+    assert result["avg_bandwidth_mb"] > 0
+    series = figure8_series(nprocs)
+    assert "T3E" in series

@@ -1,0 +1,36 @@
+"""Table 1 / Figure 12: serial bluff-body timestep benchmark.
+
+Times one real timestep of the serial NekTar-analogue on the reduced
+bluff-body mesh (the host plays the PC), and regenerates the Table 1
+machine comparison and Figure 12 stage breakdown from the models.
+"""
+
+import pytest
+
+from repro.apps.serial_bluff import figure12, reduced_solver, table1
+from repro.ns.stages import STAGES
+
+
+@pytest.fixture(scope="module")
+def warm_solver():
+    ns = reduced_solver(m=3, nr=1, order=5)
+    ns.run(3)  # warm-up: factorisations, caches
+    return ns
+
+
+def test_table1_serial_timestep(benchmark, warm_solver):
+    benchmark(warm_solver.step)
+    rows = table1()
+    assert len(rows) == 7
+    by_name = {name: model for name, model, _ in rows}
+    assert by_name["P2SC, 160MHz"] < by_name["Pentium II, 450MHz"]
+
+
+def test_fig12_stage_breakdown(benchmark, warm_solver):
+    warm_solver.reset_instrumentation()
+    benchmark.pedantic(warm_solver.step, rounds=2, iterations=1)
+    pct = warm_solver.stage_percentages("cpu")
+    assert set(pct) == set(STAGES)
+    fig = figure12()
+    for machine, shares in fig.items():
+        assert sum(shares.values()) == pytest.approx(100.0)

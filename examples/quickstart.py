@@ -1,0 +1,43 @@
+"""Quickstart: the spectral/hp element method in five minutes.
+
+Builds a quadrilateral mesh, inspects the hierarchical modal expansion
+(the paper's Figure 9), solves a Poisson problem, and demonstrates the
+property the whole method is built around: *spectral* (exponential)
+convergence under p-refinement, without remeshing.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.assembly.space import FunctionSpace
+from repro.mesh.generators import rectangle_quads
+from repro.solvers.helmholtz import solve_poisson
+from repro.spectral.expansions import QuadExpansion, TriExpansion
+
+
+def main():
+    print("=== 1. The modal expansion (Figure 9) ===")
+    tri, quad = TriExpansion(4), QuadExpansion(4)
+    print(f"triangle  at order 4: {tri.nmodes} modes -> {tri.mode_labels()}")
+    print(f"quadrilateral order 4: {quad.nmodes} modes")
+    print("ordering: vertices first, then edges, then interior (q fastest)\n")
+
+    print("=== 2. Solve -lap u = f on a 2x2 quad mesh ===")
+    mesh = rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0)
+    u_exact = lambda x, y: np.sin(np.pi * x) * np.sin(np.pi * y)  # noqa: E731
+    f = lambda x, y: 2 * np.pi**2 * u_exact(x, y)  # noqa: E731
+
+    print(f"{'order':>6} {'dofs':>6} {'L2 error':>12}")
+    for order in (2, 3, 4, 5, 6, 7, 8):
+        space = FunctionSpace(mesh, order)
+        u_hat = solve_poisson(space, f, ("left", "right", "top", "bottom"))
+        xq, yq = space.coords()
+        err = space.norm_l2(space.backward(u_hat) - u_exact(xq, yq))
+        print(f"{order:>6} {space.ndof:>6} {err:>12.3e}")
+    print("\nExponential decay with order = spectral convergence: raising p")
+    print("refines the solution on the SAME mesh (no h-refinement needed).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy-path shim: the sandbox lacks the `wheel` package, so PEP 660
+editable installs fail; `pip install -e . --no-build-isolation` falls back
+through this file (setup.py develop), which needs only setuptools.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Application-level drivers: Tables 1-3 and Figures 9-16."""
+
+from . import (
+    ale_bench,
+    cost_of_ownership,
+    kernel_report,
+    matrix_structure,
+    nektar_f_bench,
+    serial_bluff,
+)
+from .pricing import STAGE_KINDS, price_stages, total_time
+
+__all__ = [
+    "serial_bluff",
+    "nektar_f_bench",
+    "ale_bench",
+    "kernel_report",
+    "matrix_structure",
+    "cost_of_ownership",
+    "STAGE_KINDS",
+    "price_stages",
+    "total_time",
+]

@@ -1,0 +1,86 @@
+"""Kernel-level figure CLI: regenerate Figures 1-8 as data series.
+
+``python -m repro.apps.kernel_report --figure N [--panel left|right]
+[--procs P]`` prints the curves of the requested figure:
+
+* 1-6 — BLAS rates per machine vs operand size (model mode),
+* 7   — ping-pong latency and bandwidth per network,
+* 8   — MPI_Alltoall average bandwidth per network at P processors.
+"""
+
+from __future__ import annotations
+
+from ..benchkernels.alltoall import figure8_series
+from ..benchkernels.blas_bench import FIGURES, figure_series
+from ..benchkernels.netpipe import bandwidth_series, latency_series
+from ..machines.catalog import MACHINES
+from ..reporting.tables import format_series
+
+__all__ = ["report", "main"]
+
+_TITLES = {
+    1: "Figure 1: speed of dcopy in MB/s against array size",
+    2: "Figure 2: speed of daxpy in Mflop/s against array size",
+    3: "Figure 3: speed of ddot in Mflop/s against array size",
+    4: "Figure 4: speed of dgemv in Mflop/s against array size",
+    5: "Figure 5: speed of dgemm in Mflop/s against array size",
+    6: "Figure 6: speed of dgemm in Mflop/s against small array size",
+}
+
+
+def report(figure: int, panel: str = "left", procs: int = 4, max_rows: int = 12) -> str:
+    if figure in FIGURES:
+        routine, _ = FIGURES[figure]
+        series = {
+            MACHINES[k].cpu.name: xy for k, xy in figure_series(figure, panel).items()
+        }
+        ylabel = "MB/s" if routine == "dcopy" else "Mflop/s"
+        return format_series(
+            series,
+            xlabel="array size (bytes)" if figure != 6 else "matrix size n",
+            ylabel=ylabel,
+            title=f"{_TITLES[figure]} [{panel} panel]",
+            max_rows=max_rows,
+        )
+    if figure == 7:
+        lat = format_series(
+            latency_series(),
+            xlabel="message size (bytes)",
+            ylabel="latency (usec)",
+            title="Figure 7 (left): ping-pong one-way latency",
+            max_rows=max_rows,
+        )
+        bw = format_series(
+            bandwidth_series(),
+            xlabel="message size (bytes)",
+            ylabel="bandwidth (MB/s)",
+            title="Figure 7 (right): ping-pong one-way bandwidth",
+            max_rows=max_rows,
+        )
+        return lat + "\n\n" + bw
+    if figure == 8:
+        return format_series(
+            figure8_series(procs),
+            xlabel="message size (bytes)",
+            ylabel="average bandwidth (MB/s)",
+            title=f"Figure 8: MPI_Alltoall average bandwidth, {procs} processors",
+            max_rows=max_rows,
+        )
+    raise ValueError(f"no kernel figure {figure} (1-8)")
+
+
+def main(argv=None) -> str:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", type=int, required=True)
+    parser.add_argument("--panel", default="left", choices=["left", "right"])
+    parser.add_argument("--procs", type=int, default=4)
+    args = parser.parse_args(argv)
+    text = report(args.figure, args.panel, args.procs)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Boundary (edge) quadrature for weak boundary terms.
+
+Needed by the splitting scheme's high-order pressure boundary condition
+(Karniadakis, Israeli & Orszag 1991): the pressure-Poisson right-hand
+side carries the surface integral
+
+    oint phi [ -nu n.(curl omega)_extrap - gamma0 (u_b^{n+1} . n)/dt ]
+
+over the velocity-Dirichlet boundary.  :class:`EdgeQuadrature` holds,
+for one (element, local edge) side, the physical edge points, outward
+normal, edge weights, and the element basis (values and physical
+derivatives) tabulated at those points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mesh.curved import make_element_map
+from ..spectral.jacobi import gauss_jacobi
+
+__all__ = ["EdgeQuadrature", "build_edge_quadrature"]
+
+# Reference parametrisation of each local edge (intrinsic direction),
+# and whether that direction agrees with CCW traversal of the element
+# boundary (outward normal = +(t_y, -t_x) for CCW traversal).
+_QUAD_PARAM = {
+    0: (lambda s: (s, -np.ones_like(s)), +1),
+    1: (lambda s: (np.ones_like(s), s), +1),
+    2: (lambda s: (s, np.ones_like(s)), -1),
+    3: (lambda s: (-np.ones_like(s), s), -1),
+}
+_TRI_PARAM = {
+    0: (lambda s: (s, -np.ones_like(s)), +1),
+    1: (lambda s: (-s, s), +1),
+    2: (lambda s: (-np.ones_like(s), s), -1),
+}
+
+
+@dataclass
+class EdgeQuadrature:
+    """Quadrature data of one boundary side."""
+
+    elem: int
+    local_edge: int
+    x: np.ndarray  # physical points (n,)
+    y: np.ndarray
+    nx: np.ndarray  # outward unit normal
+    ny: np.ndarray
+    jw: np.ndarray  # arc-length weights
+    phi: np.ndarray  # (nmodes, n) element basis at the edge points
+    dphi_x: np.ndarray  # physical derivative tables
+    dphi_y: np.ndarray
+
+    @property
+    def npts(self) -> int:
+        return self.x.size
+
+    def integrate(self, fvals: np.ndarray) -> float:
+        return float(np.dot(self.jw, fvals))
+
+    def load(self, fvals: np.ndarray) -> np.ndarray:
+        """(f, phi_i) over this edge, local (unsigned) coefficients."""
+        return self.phi @ (self.jw * fvals)
+
+
+def build_edge_quadrature(
+    space, sides: list[tuple[int, int]], nq: int | None = None
+) -> list[EdgeQuadrature]:
+    """Edge quadrature for the given (element, local_edge) sides."""
+    out = []
+    for ei, le in sides:
+        elem = space.mesh.elements[ei]
+        exp = space.dofmap.expansion(ei)
+        n1d = nq if nq is not None else space.order + 2
+        s, w = gauss_jacobi(n1d)
+        table = _TRI_PARAM if elem.kind == "tri" else _QUAD_PARAM
+        param, ccw_sign = table[le]
+        xi1, xi2 = param(s)
+        emap = make_element_map(space.mesh, ei)
+        x, y = emap.x(xi1, xi2)
+        # Tangent along the parameter s by the chain rule on the map.
+        j = emap.jacobian(xi1, xi2)
+        dxi1, dxi2 = _param_derivative(elem.kind, le)
+        tx = j[:, 0, 0] * dxi1 + j[:, 0, 1] * dxi2
+        ty = j[:, 1, 0] * dxi1 + j[:, 1, 1] * dxi2
+        norm = np.hypot(tx, ty)
+        nx = ccw_sign * ty / norm
+        ny = -ccw_sign * tx / norm
+        phi, d1, d2 = exp.eval_basis_full(xi1, xi2)
+        # Physical derivatives at the edge points.
+        det = j[:, 0, 0] * j[:, 1, 1] - j[:, 0, 1] * j[:, 1, 0]
+        dxi1_dx = j[:, 1, 1] / det
+        dxi1_dy = -j[:, 0, 1] / det
+        dxi2_dx = -j[:, 1, 0] / det
+        dxi2_dy = j[:, 0, 0] / det
+        dphi_x = d1 * dxi1_dx + d2 * dxi2_dx
+        dphi_y = d1 * dxi1_dy + d2 * dxi2_dy
+        out.append(
+            EdgeQuadrature(
+                elem=ei,
+                local_edge=le,
+                x=x,
+                y=y,
+                nx=nx,
+                ny=ny,
+                jw=w * norm,
+                phi=phi,
+                dphi_x=dphi_x,
+                dphi_y=dphi_y,
+            )
+        )
+    return out
+
+
+def _param_derivative(kind: str, le: int) -> tuple[float, float]:
+    """d(xi1, xi2)/ds of the edge parametrisation."""
+    if kind == "quad":
+        return {0: (1.0, 0.0), 1: (0.0, 1.0), 2: (1.0, 0.0), 3: (0.0, 1.0)}[le]
+    return {0: (1.0, 0.0), 1: (-1.0, 1.0), 2: (0.0, 1.0)}[le]
+
+
+def edge_physical_points(
+    mesh, elem: int, local_edge: int, s_canonical: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Physical coordinates along an element edge at canonical
+    (low->high vertex id) parameter values, honouring curved geometry."""
+    kind = mesh.elements[elem].kind
+    table = _TRI_PARAM if kind == "tri" else _QUAD_PARAM
+    param, _ = table[local_edge]
+    s = np.asarray(s_canonical, dtype=np.float64)
+    if mesh.edge_orientation(elem, local_edge) < 0:
+        s = -s
+    xi1, xi2 = param(s)
+    return make_element_map(mesh, elem).x(xi1, xi2)

@@ -1,0 +1,169 @@
+"""Static condensation: NekTar's actual solver structure.
+
+With the hierarchical basis ordered boundary-first (Figure 10), each
+elemental matrix splits into boundary/interior blocks
+
+    A_e = [[Abb, Abi],
+           [Aib, Aii]]
+
+and the interior dofs — unique to one element — can be eliminated
+exactly: the global solve reduces to the assembled *Schur complement*
+S = Abb - Abi Aii^{-1} Aib on the (much smaller, much narrower-banded)
+boundary system, followed by dense per-element back-substitution for
+the interiors.  This is why the paper's serial profile is ~60% "matrix
+inversions" rather than one giant banded sweep, and why "most of the
+calls to dgemm are for small n": the per-element blocks are small
+dense matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+from ..linalg import blas
+from ..linalg.banded import BandedSPDSolver
+from ..linalg.counters import charge
+
+__all__ = ["CondensedOperator"]
+
+
+class CondensedOperator:
+    """Statically condensed global SPD operator.
+
+    Same interface as :class:`~repro.assembly.global_system.AssembledOperator`
+    (solve(rhs, dirichlet_values) over full global vectors), but the
+    direct factorisation lives on the boundary Schur complement only.
+    Dirichlet dofs must be boundary dofs (vertex/edge), which velocity
+    and pressure boundary conditions always are.
+    """
+
+    def __init__(self, space, elem_mats, dirichlet_dofs=()):
+        self.space = space
+        dm = space.dofmap
+        self.nb_glob = dm.nboundary
+        self.dirichlet = np.asarray(
+            sorted(set(int(d) for d in dirichlet_dofs)), dtype=np.int64
+        )
+        if self.dirichlet.size and self.dirichlet.max() >= self.nb_glob:
+            raise ValueError("Dirichlet dofs must be boundary (vertex/edge) dofs")
+
+        self._per_elem = []
+        rows, cols, vals = [], [], []
+        for e, a in enumerate(elem_mats):
+            exp = dm.expansion(e)
+            nb = len(exp.boundary_modes)
+            if exp.boundary_modes != list(range(nb)):
+                raise ValueError("expansion must order boundary modes first")
+            a = np.asarray(a, dtype=np.float64)
+            abb = a[:nb, :nb]
+            abi = a[:nb, nb:]
+            aii = a[nb:, nb:]
+            ni = aii.shape[0]
+            if ni:
+                chol = sla.cho_factor(aii, lower=True)
+                aii_inv_aib = sla.cho_solve(chol, abi.T)  # (ni, nb)
+                s_e = abb - abi @ aii_inv_aib
+                charge(2.0 * ni * ni * nb + ni**3 / 3.0, 8.0 * (ni + nb) ** 2, "sc-setup")
+            else:
+                chol = None
+                aii_inv_aib = np.zeros((0, nb))
+                s_e = abb
+            bdofs = dm.elem_dofs[e][:nb]
+            bsigns = dm.elem_signs[e][:nb]
+            idofs = dm.elem_dofs[e][nb:]
+            self._per_elem.append(
+                {
+                    "abi": abi,
+                    "chol": chol,
+                    "aii_inv_aib": aii_inv_aib,
+                    "bdofs": bdofs,
+                    "bsigns": bsigns,
+                    "idofs": idofs,
+                    "nb": nb,
+                    "ni": ni,
+                }
+            )
+            ss = (bsigns[:, None] * s_e) * bsigns[None, :]
+            rows.append(np.repeat(bdofs, nb))
+            cols.append(np.tile(bdofs, nb))
+            vals.append(ss.ravel())
+        s_glob = sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(self.nb_glob, self.nb_glob),
+        ).tocsr()
+
+        mask = np.ones(self.nb_glob, dtype=bool)
+        mask[self.dirichlet] = False
+        self.free = np.nonzero(mask)[0]
+        s_ff = s_glob[np.ix_(self.free, self.free)].tocsr()
+        self.s_fk = s_glob[np.ix_(self.free, self.dirichlet)].tocsr()
+        if self.free.size == 0:
+            # Every boundary dof is prescribed: nothing to factor, the
+            # solve is pure interior back-substitution.
+            self.perm = np.zeros(0, dtype=np.int64)
+            self.solver = None
+            self.bandwidth = 0
+            return
+        self.perm = np.asarray(reverse_cuthill_mckee(s_ff, symmetric_mode=True))
+        p = s_ff[np.ix_(self.perm, self.perm)].tocoo()
+        kd = int(np.abs(p.row - p.col).max()) if p.nnz else 0
+        ab = np.zeros((kd + 1, self.free.size))
+        up = p.row <= p.col
+        ab[kd + p.row[up] - p.col[up], p.col[up]] = p.data[up]
+        self.solver = BandedSPDSolver.from_banded(ab)
+        self.bandwidth = kd
+
+    @property
+    def ndof(self) -> int:
+        return self.space.ndof
+
+    def solve(
+        self, rhs: np.ndarray, dirichlet_values: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Solve A u = rhs (assembled global load vector)."""
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.shape != (self.ndof,):
+            raise ValueError("rhs must cover all global dofs")
+        # Condense: gb = rb - sum_e Q_e^T Abi Aii^{-1} fi.
+        gb = rhs[: self.nb_glob].copy()
+        fi_store = []
+        for pe in self._per_elem:
+            if pe["ni"] == 0:
+                fi_store.append(None)
+                continue
+            fi = rhs[pe["idofs"]]
+            fi_store.append(fi)
+            tmp = sla.cho_solve(pe["chol"], fi)
+            corr = np.zeros(pe["nb"])
+            blas.dgemv(1.0, pe["abi"], tmp, 0.0, corr)
+            charge(2.0 * pe["ni"] ** 2, 8.0 * pe["ni"] ** 2, "sc-chol")
+            np.subtract.at(gb, pe["bdofs"], pe["bsigns"] * corr)
+        # Boundary solve.
+        if self.dirichlet.size:
+            if dirichlet_values is None:
+                dirichlet_values = np.zeros(self.dirichlet.size)
+            dirichlet_values = np.asarray(dirichlet_values, dtype=np.float64)
+            b = gb[self.free] - self.s_fk @ dirichlet_values
+        else:
+            b = gb[self.free]
+        x = np.empty_like(b)
+        if self.solver is not None:
+            x[self.perm] = self.solver.solve(b[self.perm])
+        u = np.zeros(self.ndof)
+        u[self.free] = x
+        if self.dirichlet.size:
+            u[self.dirichlet] = dirichlet_values
+        # Back-substitute interiors: ui = Aii^{-1} (fi - Aib ub).
+        for pe, fi in zip(self._per_elem, fi_store):
+            if pe["ni"] == 0:
+                continue
+            ub = pe["bsigns"] * u[pe["bdofs"]]
+            # ui = Aii^{-1} fi - (Aii^{-1} Aib) ub, using the cached blocks.
+            ui = sla.cho_solve(pe["chol"], fi)
+            charge(2.0 * pe["ni"] ** 2, 8.0 * pe["ni"] ** 2, "sc-chol")
+            blas.dgemv(-1.0, pe["aii_inv_aib"], ub, 1.0, ui)
+            u[pe["idofs"]] = ui
+        return u

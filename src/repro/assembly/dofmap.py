@@ -1,0 +1,259 @@
+"""Local-to-global degree-of-freedom maps with C0 continuity.
+
+Global dofs are numbered vertices first, then edge-interior dofs (P-1
+per mesh edge, defined along the edge's canonical low->high direction),
+then element-interior dofs — the boundary/interior split of Figure 10.
+C0 continuity across elements is imposed "by choosing appropriately the
+edge modes" (Section 1.3): shared vertex and edge dofs get one global
+number, and an element whose intrinsic edge direction opposes the
+canonical one flips the sign of its odd edge modes
+(:func:`repro.spectral.basis.edge_reversal_sign`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.mesh2d import Mesh2D
+from ..spectral.basis import edge_reversal_sign
+from ..spectral.expansions import Expansion2D, QuadExpansion, TriExpansion
+
+__all__ = ["DofMap"]
+
+
+class DofMap:
+    """Global C0 numbering for a mesh at uniform polynomial order.
+
+    ``periodic`` pairs boundary tags whose sides are identified by a
+    rigid translation (e.g. ``[("left", "right")]``): matched vertices
+    and edges share global dofs, turning the domain into a (partially)
+    periodic box — the discretisation the paper's "box codes" for
+    homogeneous turbulence use.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        order: int,
+        periodic: list[tuple[str, str]] | tuple = (),
+    ):
+        if order < 2:
+            raise ValueError("dof map needs order >= 2")
+        self.mesh = mesh
+        self.order = order
+        self.periodic = tuple(periodic)
+        self.expansions: dict[str, Expansion2D] = {
+            "tri": TriExpansion(order),
+            "quad": QuadExpansion(order),
+        }
+        self._build_identifications()
+        self._number()
+
+    # -- periodic identification ------------------------------------------------
+
+    def _build_identifications(self) -> None:
+        """Union vertices across periodic tag pairs; vrep[v] is each
+        vertex's representative id."""
+        mesh = self.mesh
+        parent = list(range(mesh.nvertices))
+
+        def find(v):
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        def union(a, b):
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+        # Edge identification union-find (mesh edge ids).
+        eparent = list(range(mesh.nedges))
+
+        def efind(e):
+            while eparent[e] != e:
+                eparent[e] = eparent[eparent[e]]
+                e = eparent[e]
+            return e
+
+        for tag_a, tag_b in self.periodic:
+            va = sorted(
+                {
+                    v
+                    for ei, le in mesh.boundary_sides(tag_a)
+                    for v in mesh.elements[ei].edge_vertices(le)
+                }
+            )
+            vb = sorted(
+                {
+                    v
+                    for ei, le in mesh.boundary_sides(tag_b)
+                    for v in mesh.elements[ei].edge_vertices(le)
+                }
+            )
+            if len(va) != len(vb):
+                raise ValueError(
+                    f"periodic tags {tag_a!r}/{tag_b!r} have unequal vertex counts"
+                )
+            ca = mesh.vertices[va]
+            cb = mesh.vertices[vb]
+            t = cb.mean(axis=0) - ca.mean(axis=0)
+            scale = max(1.0, float(np.abs(mesh.vertices).max()))
+            partner: dict[int, int] = {}
+            for v, xy in zip(va, ca):
+                d = np.linalg.norm(cb - (xy + t), axis=1)
+                j = int(np.argmin(d))
+                if d[j] > 1e-8 * scale:
+                    raise ValueError(
+                        f"periodic tags {tag_a!r}/{tag_b!r}: vertex {v} has "
+                        "no translated partner"
+                    )
+                union(v, vb[j])
+                partner[v] = vb[j]
+            # Match the boundary edges of the pair through the vertex map.
+            b_edges = {
+                frozenset(mesh.elements[ei].edge_vertices(le)): mesh.elem_edges[ei][le]
+                for ei, le in mesh.boundary_sides(tag_b)
+            }
+            for ei, le in mesh.boundary_sides(tag_a):
+                a1, a2 = mesh.elements[ei].edge_vertices(le)
+                key = frozenset((partner[a1], partner[a2]))
+                if key not in b_edges:
+                    raise ValueError(
+                        f"periodic tags {tag_a!r}/{tag_b!r}: edge "
+                        f"({a1}, {a2}) has no translated partner edge"
+                    )
+                ea = mesh.elem_edges[ei][le]
+                eb = b_edges[key]
+                ra, rb = efind(ea), efind(eb)
+                if ra != rb:
+                    eparent[max(ra, rb)] = min(ra, rb)
+        self._edge_class = [efind(e) for e in range(mesh.nedges)]
+        self.vrep_raw = np.array([find(v) for v in range(mesh.nvertices)])
+        # Compress representatives to 0..n_classes-1.
+        reps = np.unique(self.vrep_raw)
+        lut = {int(r): i for i, r in enumerate(reps)}
+        self.vrep = np.array([lut[int(r)] for r in self.vrep_raw], dtype=np.int64)
+        self.n_vertex_dofs = reps.size
+
+    def _edge_tables(self):
+        """Edge numbering over *identified* edges.
+
+        Distinct physical edges stay distinct unless explicitly matched
+        by a periodic pair (endpoint reps alone would wrongly collapse
+        parallel edges on small tori).  Canonical direction of each
+        (merged) edge is low -> high in vertex-representative space —
+        consistent on both faces of a periodic pair by construction.
+        """
+        mesh = self.mesh
+        classes = sorted(set(self._edge_class))
+        class_id = {c: i for i, c in enumerate(classes)}
+        elem_edge_ids: list[list[int]] = []
+        elem_edge_orient: list[list[int]] = []
+        for ei, elem in enumerate(mesh.elements):
+            ids, orients = [], []
+            for le in range(elem.nedges):
+                a, b = elem.edge_vertices(le)
+                ra, rb = int(self.vrep[a]), int(self.vrep[b])
+                if ra == rb:
+                    raise ValueError(
+                        "degenerate periodic identification (an edge's "
+                        "endpoints are identified; use >= 2 cells per "
+                        "periodic direction)"
+                    )
+                ids.append(class_id[self._edge_class[mesh.elem_edges[ei][le]]])
+                orients.append(1 if ra < rb else -1)
+            elem_edge_ids.append(ids)
+            elem_edge_orient.append(orients)
+        return class_id, elem_edge_ids, elem_edge_orient
+
+    def _number(self) -> None:
+        mesh, P = self.mesh, self.order
+        n_edge_dofs = P - 1
+        table, elem_edge_ids, elem_edge_orient = self._edge_tables()
+        self._edge_ids = elem_edge_ids
+        self.n_edges = len(table)
+        self.vertex_offset = 0
+        self.edge_offset = self.n_vertex_dofs
+        self.interior_offset = self.edge_offset + n_edge_dofs * self.n_edges
+
+        self.elem_dofs: list[np.ndarray] = []
+        self.elem_signs: list[np.ndarray] = []
+        int_cursor = self.interior_offset
+        for ei, elem in enumerate(mesh.elements):
+            exp = self.expansions[elem.kind]
+            dofs = np.empty(exp.nmodes, dtype=np.int64)
+            signs = np.ones(exp.nmodes)
+            for v, mid in enumerate(exp.vertex_modes):
+                dofs[mid] = self.vrep[elem.vertices[v]]
+            for le in range(elem.nedges):
+                eid = elem_edge_ids[ei][le]
+                orient = elem_edge_orient[ei][le]
+                base = self.edge_offset + eid * n_edge_dofs
+                for k, mid in enumerate(exp.edge_modes(le)):
+                    dofs[mid] = base + k
+                    if orient < 0:
+                        signs[mid] = edge_reversal_sign(k)
+            for mid in exp.interior_modes:
+                dofs[mid] = int_cursor
+                int_cursor += 1
+            self.elem_dofs.append(dofs)
+            self.elem_signs.append(signs)
+        self.ndof = int_cursor
+        self.nboundary = self.interior_offset
+
+    # -- queries -------------------------------------------------------------
+
+    def expansion(self, elem: int) -> Expansion2D:
+        return self.expansions[self.mesh.elements[elem].kind]
+
+    def vertex_dof(self, v: int) -> int:
+        """Global dof of mesh vertex v (its periodic representative)."""
+        return int(self.vrep[v])
+
+    def elem_edge_id(self, elem: int, local_edge: int) -> int:
+        """Dof-map edge id of an element side (identified edges for
+        periodic meshes)."""
+        return self._edge_ids[elem][local_edge]
+
+    def edge_dofs(self, eid: int) -> np.ndarray:
+        """Global dofs interior to dof-map edge ``eid`` (canonical order)."""
+        n = self.order - 1
+        base = self.edge_offset + eid * n
+        return np.arange(base, base + n, dtype=np.int64)
+
+    def boundary_dofs(self, tags: list[str] | None = None) -> np.ndarray:
+        """Global dofs (vertices + edge-interiors) on the given boundary
+        tags; on the whole boundary when ``tags`` is None."""
+        sides = (
+            self.mesh.boundary_sides()
+            if tags is None
+            else [s for t in tags for s in self.mesh.boundary_sides(t)]
+        )
+        out: set[int] = set()
+        for ei, le in sides:
+            elem = self.mesh.elements[ei]
+            a, b = elem.edge_vertices(le)
+            out.add(self.vertex_dof(a))
+            out.add(self.vertex_dof(b))
+            eid = self.elem_edge_id(ei, le)
+            out.update(int(d) for d in self.edge_dofs(eid))
+        return np.array(sorted(out), dtype=np.int64)
+
+    # -- gather/scatter -------------------------------------------------------
+
+    def gather(self, elem: int, uglobal: np.ndarray) -> np.ndarray:
+        """Global coefficient vector -> signed element-local coefficients."""
+        return self.elem_signs[elem] * uglobal[self.elem_dofs[elem]]
+
+    def scatter_add(self, elem: int, ulocal: np.ndarray, uglobal: np.ndarray) -> None:
+        """Accumulate signed element-local values into the global vector."""
+        np.add.at(uglobal, self.elem_dofs[elem], self.elem_signs[elem] * ulocal)
+
+    def multiplicity(self) -> np.ndarray:
+        """How many elements touch each global dof (1 for interiors)."""
+        mult = np.zeros(self.ndof)
+        for ei in range(self.mesh.nelements):
+            np.add.at(mult, self.elem_dofs[ei], 1.0)
+        return mult

@@ -1,0 +1,218 @@
+"""FunctionSpace: the discrete field layer of the spectral/hp method.
+
+Bundles a mesh + uniform polynomial order with the dof map, per-element
+geometric factors and physical quadrature coordinates, and provides the
+field operations every application stage is built from:
+
+* ``backward``  — modal coefficients -> quadrature values (the paper's
+  stage 1, "transformation from modal to quadrature space"),
+* ``forward``   — global L2 projection (a mass solve),
+* ``gradient``  — physical derivatives at quadrature points,
+* ``load_vector`` / ``integrate`` — weak-form right-hand sides.
+
+Values live in an (nelem, nq) array; modal coefficients in a global
+C0 vector of length ``ndof``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg import blas
+from ..mesh.mapping import ElementMap, GeomFactors
+from ..mesh.mesh2d import Mesh2D
+from .dofmap import DofMap
+from .operators import elemental_load, elemental_mass
+
+__all__ = ["FunctionSpace"]
+
+
+class FunctionSpace:
+    """H1-conforming spectral/hp space of uniform order on a 2-D mesh.
+
+    ``sumfact=True`` evaluates transforms and gradients on quadrilateral
+    elements by sum-factorisation (two O(P^3) contractions instead of
+    one O(P^4) tabulated dgemv) — NekTar's tensor-product evaluation;
+    results are identical to machine precision.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        order: int,
+        sumfact: bool = False,
+        periodic: list[tuple[str, str]] | tuple = (),
+    ):
+        self.mesh = mesh
+        self.order = order
+        self.sumfact = sumfact
+        self.dofmap = DofMap(mesh, order, periodic=periodic)
+        from ..mesh.curved import make_element_map
+
+        self.geom: list[GeomFactors] = []
+        xq, yq = [], []
+        for ei, elem in enumerate(mesh.elements):
+            exp = self.dofmap.expansion(ei)
+            coords = mesh.element_coords(ei)
+            emap = make_element_map(mesh, ei)
+            self.geom.append(GeomFactors.compute(exp, coords, emap))
+            A, B = exp.rule.points
+            if elem.kind == "tri":
+                xi1 = 0.5 * (1.0 + A) * (1.0 - B) - 1.0
+                xi2 = B
+            else:
+                xi1, xi2 = A, B
+            x, y = emap.x(xi1, xi2)
+            xq.append(x)
+            yq.append(y)
+        self.xq = np.array(xq)
+        self.yq = np.array(yq)
+        self._mass_solver = None
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def nelem(self) -> int:
+        return self.mesh.nelements
+
+    @property
+    def nq(self) -> int:
+        """Quadrature points per element (uniform: both reference rules
+        use (order + 2)^2 points)."""
+        return self.xq.shape[1]
+
+    @property
+    def ndof(self) -> int:
+        return self.dofmap.ndof
+
+    def coords(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.xq, self.yq
+
+    # -- transforms ------------------------------------------------------------
+
+    def backward(self, u_hat: np.ndarray) -> np.ndarray:
+        """Global modal coefficients -> values at quadrature points."""
+        out = np.empty((self.nelem, self.nq))
+        for ei in range(self.nelem):
+            exp = self.dofmap.expansion(ei)
+            local = self.dofmap.gather(ei, u_hat)
+            if self.sumfact and self.mesh.elements[ei].kind == "quad":
+                out[ei] = exp.backward_sumfact(local)
+            else:
+                blas.dgemv(1.0, exp.phi, local, 0.0, out[ei], trans=True)
+        return out
+
+    def load_vector(self, values: np.ndarray) -> np.ndarray:
+        """Assembled (f, phi_i) for f at quadrature points."""
+        values = np.asarray(values, dtype=np.float64)
+        rhs = np.zeros(self.ndof)
+        for ei in range(self.nelem):
+            exp = self.dofmap.expansion(ei)
+            local = elemental_load(exp, self.geom[ei], values[ei])
+            self.dofmap.scatter_add(ei, local, rhs)
+        return rhs
+
+    def grad_load_vector(self, fx: np.ndarray, fy: np.ndarray) -> np.ndarray:
+        """Assembled (fx, dphi_i/dx) + (fy, dphi_i/dy).
+
+        This is the weak pressure-Poisson right-hand side of the
+        splitting scheme: with the consistent Neumann condition
+        dp/dn = u_hat . n / dt, the boundary terms cancel and
+        (grad p, grad phi) = (u_hat, grad phi) / dt.
+        """
+        fx = np.asarray(fx, dtype=np.float64)
+        fy = np.asarray(fy, dtype=np.float64)
+        rhs = np.zeros(self.ndof)
+        local = None
+        for ei in range(self.nelem):
+            exp = self.dofmap.expansion(ei)
+            gf = self.geom[ei]
+            dx, dy = gf.physical_gradients(exp.dphi1, exp.dphi2)
+            if local is None or local.size != exp.nmodes:
+                local = np.zeros(exp.nmodes)
+            blas.dgemv(1.0, dx, gf.jw * fx[ei], 0.0, local)
+            blas.dgemv(1.0, dy, gf.jw * fy[ei], 1.0, local)
+            self.dofmap.scatter_add(ei, local, rhs)
+        return rhs
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        """Global L2 projection: values -> modal coefficients (condensed
+        mass solve, like every other direct solve in the code)."""
+        from .condensation import CondensedOperator
+
+        if self._mass_solver is None:
+            mats = [
+                elemental_mass(self.dofmap.expansion(ei), self.geom[ei])
+                for ei in range(self.nelem)
+            ]
+            self._mass_solver = CondensedOperator(self, mats)
+        return self._mass_solver.solve(self.load_vector(values))
+
+    def gradient(self, u_hat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Physical (du/dx, du/dy) at quadrature points from modal coeffs."""
+        dudx = np.empty((self.nelem, self.nq))
+        dudy = np.empty((self.nelem, self.nq))
+        for ei in range(self.nelem):
+            exp = self.dofmap.expansion(ei)
+            local = self.dofmap.gather(ei, u_hat)
+            if self.sumfact and self.mesh.elements[ei].kind == "quad":
+                d1, d2 = exp.gradient_sumfact(local)
+                gf = self.geom[ei]
+                dudx[ei] = d1 * gf.dxi_dx[0, 0] + d2 * gf.dxi_dx[1, 0]
+                dudy[ei] = d1 * gf.dxi_dx[0, 1] + d2 * gf.dxi_dx[1, 1]
+            else:
+                dx, dy = self.geom[ei].physical_gradients(exp.dphi1, exp.dphi2)
+                blas.dgemv(1.0, dx, local, 0.0, dudx[ei], trans=True)
+                blas.dgemv(1.0, dy, local, 0.0, dudy[ei], trans=True)
+        return dudx, dudy
+
+    def gradient_of_values(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Gradient of a quadrature-space field (projects first)."""
+        return self.gradient(self.forward(values))
+
+    # -- integrals ---------------------------------------------------------------
+
+    def integrate(self, values: np.ndarray) -> float:
+        values = np.asarray(values, dtype=np.float64)
+        return float(
+            sum(np.dot(self.geom[ei].jw, values[ei]) for ei in range(self.nelem))
+        )
+
+    def norm_l2(self, values: np.ndarray) -> float:
+        return float(np.sqrt(max(0.0, self.integrate(np.asarray(values) ** 2))))
+
+    # -- assembly ------------------------------------------------------------------
+
+    def assemble(self, elem_mats: list[np.ndarray]) -> sp.csr_matrix:
+        """Scatter elemental matrices into the global sparse operator."""
+        rows, cols, vals = [], [], []
+        for ei, a in enumerate(elem_mats):
+            dofs = self.dofmap.elem_dofs[ei]
+            signs = self.dofmap.elem_signs[ei]
+            sa = (signs[:, None] * a) * signs[None, :]
+            n = dofs.size
+            rows.append(np.repeat(dofs, n))
+            cols.append(np.tile(dofs, n))
+            vals.append(sa.ravel())
+        m = sp.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(self.ndof, self.ndof),
+        )
+        return m.tocsr()
+
+    def assembled_diagonal(self, elem_mats: list[np.ndarray]) -> np.ndarray:
+        """Assembled operator diagonal (the ALE solver's Jacobi
+        preconditioner) without forming the global matrix."""
+        diag = np.zeros(self.ndof)
+        for ei, a in enumerate(elem_mats):
+            # Diagonal entries pick up signs squared (= 1); pre-multiplying
+            # by the signs cancels the one scatter_add applies.
+            self.dofmap.scatter_add(
+                ei, self.dofmap.elem_signs[ei] * np.diag(a), diag
+            )
+        return diag
+
+    def eval_at_vertices(self, u_hat: np.ndarray) -> np.ndarray:
+        """Field values at mesh vertices (vertex dofs are nodal)."""
+        return np.asarray(u_hat, dtype=np.float64)[: self.mesh.nvertices]

@@ -1,0 +1,33 @@
+"""Kernel-level benchmark drivers (Figures 1-8)."""
+
+from .alltoall import figure8_series, message_sizes, simulated_alltoall
+from .blas_bench import (
+    FIGURES,
+    figure_series,
+    host_measure,
+    model_curve,
+    sweep_sizes,
+)
+from .netpipe import (
+    bandwidth_series,
+    bandwidth_sizes,
+    latency_series,
+    latency_sizes,
+    simulated_pingpong,
+)
+
+__all__ = [
+    "FIGURES",
+    "sweep_sizes",
+    "model_curve",
+    "figure_series",
+    "host_measure",
+    "latency_sizes",
+    "bandwidth_sizes",
+    "latency_series",
+    "bandwidth_series",
+    "simulated_pingpong",
+    "message_sizes",
+    "figure8_series",
+    "simulated_alltoall",
+]

@@ -1,0 +1,73 @@
+"""MPI_Alltoall benchmark driver (Figure 8).
+
+The paper times a globally synchronised loop of MPI_Alltoall calls and
+reports the average per-process bandwidth against message size, for 4
+and 8 processors.  The model mode sweeps the collective cost models;
+the simulated mode performs the paper's measurement protocol literally
+on simmpi (barrier, loop of alltoalls, per-rank statistics over the
+repetitions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machines.catalog import ALLTOALL_FIGURE_NETWORKS, NETWORKS
+from ..parallel.simmpi import VirtualCluster
+
+__all__ = ["message_sizes", "figure8_series", "simulated_alltoall"]
+
+
+def message_sizes() -> np.ndarray:
+    """1 byte to ~6.4 MB per pair, log spaced (Figure 8 abscissa)."""
+    return np.unique(np.logspace(0, np.log10(6.4e6), 30).astype(int))
+
+
+def figure8_series(nprocs: int, names=None) -> dict[str, tuple]:
+    """Average Alltoall bandwidth curves for one processor count."""
+    if nprocs < 2:
+        raise ValueError("alltoall needs at least two processors")
+    names = ALLTOALL_FIGURE_NETWORKS if names is None else names
+    sizes = message_sizes()
+    out = {}
+    for name in names:
+        if name == "Muses, LAM" and nprocs > 4:
+            continue  # Muses has 4 nodes
+        net = NETWORKS[name]
+        out[name] = (
+            sizes,
+            np.array(
+                [net.alltoall_avg_bandwidth(nprocs, int(s)) for s in sizes]
+            ),
+        )
+    return out
+
+
+def simulated_alltoall(
+    network_name: str, nprocs: int, nbytes: int, reps: int = 5
+) -> dict[str, float]:
+    """The paper's protocol on simmpi: globally synchronise, then time a
+    loop calling MPI_Alltoall; statistics over the repetitions."""
+    net = NETWORKS[network_name]
+
+    def fn(comm):
+        chunks = [np.zeros(max(1, nbytes // 8)) for _ in range(comm.size)]
+        comm.barrier()
+        t0 = comm.wall
+        times = []
+        for _ in range(reps):
+            t_before = comm.wall
+            comm.alltoall(chunks)
+            times.append(comm.wall - t_before)
+        total = comm.wall - t0
+        return times, total
+
+    res = VirtualCluster(nprocs, net).run(fn)
+    times = np.array([t for times, _ in res for t in times])
+    mean = float(times.mean())
+    return {
+        "mean_seconds": mean,
+        "min_seconds": float(times.min()),
+        "max_seconds": float(times.max()),
+        "avg_bandwidth_mb": (nprocs - 1) * nbytes / mean / 1e6,
+    }

@@ -1,0 +1,77 @@
+"""NetPIPE-style ping-pong driver (Figure 7).
+
+"Simple unidirectional (Ping-Pong) latency and bandwidth testing is
+performed with NetPIPE 2.3."  Two modes again: evaluate the network
+models directly, or actually run the ping-pong on a two-rank simmpi
+cluster and time it with the virtual clock (the consistency of the two
+is itself a test).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machines.catalog import NETWORKS, PINGPONG_FIGURE_NETWORKS
+from ..parallel.simmpi import VirtualCluster
+
+__all__ = [
+    "latency_sizes",
+    "bandwidth_sizes",
+    "latency_series",
+    "bandwidth_series",
+    "simulated_pingpong",
+]
+
+
+def latency_sizes() -> np.ndarray:
+    """Small messages, 0-600 bytes (Figure 7 left panel)."""
+    return np.arange(0, 601, 40)
+
+
+def bandwidth_sizes() -> np.ndarray:
+    """1 byte to 64 MB, log spaced (Figure 7 right panel)."""
+    return np.unique(np.logspace(0, np.log10(64 << 20), 40).astype(int))
+
+
+def latency_series(names=None) -> dict[str, tuple]:
+    names = PINGPONG_FIGURE_NETWORKS if names is None else names
+    sizes = latency_sizes()
+    return {
+        name: (
+            sizes,
+            np.array([NETWORKS[name].pingpong_latency_us(int(s)) for s in sizes]),
+        )
+        for name in names
+    }
+
+
+def bandwidth_series(names=None) -> dict[str, tuple]:
+    names = PINGPONG_FIGURE_NETWORKS if names is None else names
+    sizes = bandwidth_sizes()
+    return {
+        name: (
+            sizes,
+            np.array([NETWORKS[name].pingpong_bandwidth(int(s)) for s in sizes]),
+        )
+        for name in names
+    }
+
+
+def simulated_pingpong(network_name: str, nbytes: int, reps: int = 10) -> float:
+    """Run the ping-pong on simmpi; returns measured one-way seconds."""
+    net = NETWORKS[network_name]
+
+    def fn(comm):
+        msg = np.zeros(max(1, nbytes // 8))
+        for _ in range(reps):
+            if comm.rank == 0:
+                comm.send(1, msg)
+                comm.recv(1)
+            else:
+                comm.recv(0)
+                comm.send(0, msg)
+        return comm.wall
+
+    cluster = VirtualCluster(2, net)
+    res = cluster.run(fn)
+    return res[0] / (2 * reps)

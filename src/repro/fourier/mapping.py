@@ -1,0 +1,68 @@
+"""Distributed transpose between mode and plane decompositions.
+
+NekTar-F keeps fields distributed by Fourier *mode* (each rank owns all
+x-y points of its modes).  The non-linear products need physical z, so
+step 2 transposes to a *point* decomposition (each rank owns all modes
+of an x-y point chunk), inverse-FFTs, multiplies, FFTs and transposes
+back — "each processor communicates with all the others with message
+sizes of Gamma/P x Nz/P" (Section 4.2.1).  That is exactly what
+:func:`transpose_to_points` / :func:`transpose_to_modes` implement on
+top of simmpi's MPI_Alltoall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.simmpi import VirtualComm
+
+__all__ = ["point_chunks", "transpose_to_points", "transpose_to_modes"]
+
+
+def point_chunks(npoints: int, nprocs: int) -> list[slice]:
+    """Split the flattened x-y point index among ranks (balanced)."""
+    bounds = np.linspace(0, npoints, nprocs + 1).astype(int)
+    return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+def transpose_to_points(
+    comm: VirtualComm, local_modes: np.ndarray
+) -> np.ndarray:
+    """(npoints, my_modes) complex -> (my_points, total_modes) complex.
+
+    ``local_modes`` holds all x-y points for this rank's mode block;
+    the result holds this rank's point chunk for every mode, with modes
+    ordered by owning rank (i.e. global mode order for the contiguous
+    block assignment).
+    """
+    local_modes = np.ascontiguousarray(local_modes, dtype=np.complex128)
+    npoints = local_modes.shape[0]
+    chunks = point_chunks(npoints, comm.size)
+    send = [np.ascontiguousarray(local_modes[sl, :]) for sl in chunks]
+    recv = comm.alltoall(send)
+    return np.concatenate(recv, axis=1)
+
+
+def transpose_to_modes(
+    comm: VirtualComm, local_points: np.ndarray, npoints: int
+) -> np.ndarray:
+    """Inverse of :func:`transpose_to_points`.
+
+    ``local_points`` is (my_points, total_modes); returns
+    (npoints, my_modes).
+    """
+    local_points = np.ascontiguousarray(local_points, dtype=np.complex128)
+    total_modes = local_points.shape[1]
+    if total_modes % comm.size:
+        raise ValueError("total modes must divide evenly over ranks")
+    per = total_modes // comm.size
+    send = [
+        np.ascontiguousarray(local_points[:, p * per : (p + 1) * per])
+        for p in range(comm.size)
+    ]
+    recv = comm.alltoall(send)
+    chunks = point_chunks(npoints, comm.size)
+    out = np.empty((npoints, per), dtype=np.complex128)
+    for sl, part in zip(chunks, recv):
+        out[sl, :] = part
+    return out

@@ -1,0 +1,70 @@
+"""Fourier machinery for the homogeneous (spanwise) direction.
+
+NekTar-F resolves one homogeneous direction with Fourier expansions:
+Nz physical planes <-> Nz/2 complex modes (the Nyquist mode is dropped,
+as in the production code's dealiased convention).  "Typically, one
+processor is assigned to one Fourier mode which corresponds to two
+spectral/hp element planes."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "nmodes_for",
+    "wavenumbers",
+    "fft_z",
+    "ifft_z",
+    "dz_hat",
+    "mode_blocks",
+]
+
+
+def nmodes_for(nz: int) -> int:
+    """Complex modes kept for nz physical planes (Nyquist dropped)."""
+    if nz < 2 or nz % 2:
+        raise ValueError("need an even number of planes >= 2")
+    return nz // 2
+
+
+def wavenumbers(nz: int, lz: float = 2.0 * np.pi) -> np.ndarray:
+    """Spanwise wavenumbers k_m = 2 pi m / L_z of the kept modes."""
+    return 2.0 * np.pi * np.arange(nmodes_for(nz)) / lz
+
+
+def fft_z(values: np.ndarray) -> np.ndarray:
+    """Forward transform along the last axis: (..., nz) real physical
+    planes -> (..., nz//2) complex modes, normalised so mode 0 is the
+    z-mean.  The Nyquist mode is discarded."""
+    values = np.asarray(values, dtype=np.float64)
+    nz = values.shape[-1]
+    nm = nmodes_for(nz)
+    return np.fft.rfft(values, axis=-1)[..., :nm] / nz
+
+
+def ifft_z(modes: np.ndarray, nz: int) -> np.ndarray:
+    """Inverse of :func:`fft_z` back to nz physical planes."""
+    modes = np.asarray(modes, dtype=np.complex128)
+    nm = nmodes_for(nz)
+    if modes.shape[-1] != nm:
+        raise ValueError(f"expected {nm} modes for nz={nz}")
+    full = np.zeros(modes.shape[:-1] + (nz // 2 + 1,), dtype=np.complex128)
+    full[..., :nm] = modes
+    return np.fft.irfft(full * nz, n=nz, axis=-1)
+
+
+def dz_hat(modes: np.ndarray, nz: int, lz: float = 2.0 * np.pi) -> np.ndarray:
+    """Spectral d/dz in mode space: multiply mode m by i k_m."""
+    k = wavenumbers(nz, lz)
+    return modes * (1j * k)
+
+
+def mode_blocks(nmodes: int, nprocs: int) -> list[range]:
+    """Contiguous mode-to-processor assignment (the paper's mapping)."""
+    if nmodes % nprocs:
+        raise ValueError(
+            f"{nmodes} modes do not divide evenly over {nprocs} processors"
+        )
+    per = nmodes // nprocs
+    return [range(p * per, (p + 1) * per) for p in range(nprocs)]

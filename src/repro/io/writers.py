@@ -1,0 +1,110 @@
+"""Field output and checkpointing.
+
+* :func:`write_vtk` — legacy-ASCII VTK unstructured-grid files of
+  vertex fields (loads in ParaView/VisIt), the standard way downstream
+  users inspect a wake.
+* :class:`Checkpoint` — .npz save/restore of a solver state (modal
+  coefficients, time, step count, mesh vertices for ALE runs), so long
+  DNS campaigns — "250 hours of CPU time per processor" in the paper's
+  production run — can restart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..assembly.space import FunctionSpace
+from ..mesh.mesh2d import Mesh2D
+
+__all__ = ["write_vtk", "Checkpoint"]
+
+_VTK_CELL = {3: 5, 4: 9}  # triangle, quad
+
+
+def write_vtk(
+    path: str | Path,
+    mesh: Mesh2D,
+    point_fields: dict[str, np.ndarray] | None = None,
+    title: str = "repro field output",
+) -> Path:
+    """Write a legacy-ASCII VTK file of the mesh and vertex fields.
+
+    ``point_fields`` maps field name -> per-vertex values (e.g. from
+    :meth:`FunctionSpace.eval_at_vertices`).
+    """
+    path = Path(path)
+    point_fields = dict(point_fields or {})
+    nv = mesh.nvertices
+    for name, vals in point_fields.items():
+        vals = np.asarray(vals)
+        if vals.shape != (nv,):
+            raise ValueError(f"field {name!r} must have one value per vertex")
+    lines = [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+        "DATASET UNSTRUCTURED_GRID",
+        f"POINTS {nv} double",
+    ]
+    for x, y in mesh.vertices:
+        lines.append(f"{x:.12g} {y:.12g} 0.0")
+    size = sum(e.nedges + 1 for e in mesh.elements)
+    lines.append(f"CELLS {mesh.nelements} {size}")
+    for e in mesh.elements:
+        lines.append(" ".join([str(len(e.vertices))] + [str(v) for v in e.vertices]))
+    lines.append(f"CELL_TYPES {mesh.nelements}")
+    for e in mesh.elements:
+        lines.append(str(_VTK_CELL[len(e.vertices)]))
+    if point_fields:
+        lines.append(f"POINT_DATA {nv}")
+        for name, vals in point_fields.items():
+            lines.append(f"SCALARS {name} double 1")
+            lines.append("LOOKUP_TABLE default")
+            lines.extend(f"{float(v):.12g}" for v in np.asarray(vals))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class Checkpoint:
+    """Save/restore solver state to a .npz archive."""
+
+    FIELDS = ("u_hat", "v_hat", "p_hat")
+
+    @staticmethod
+    def save(path: str | Path, solver) -> Path:
+        path = Path(path)
+        data = {f: getattr(solver, f) for f in Checkpoint.FIELDS}
+        data["t"] = np.array(solver.t)
+        data["step_count"] = np.array(solver.step_count)
+        data["vertices"] = solver.space.mesh.vertices
+        np.savez(path, **data)
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @staticmethod
+    def load(path: str | Path, solver) -> None:
+        """Restore state in place; the solver must be built on a mesh
+        with the same topology (vertex positions are restored for ALE)."""
+        with np.load(Path(path)) as data:
+            for f in Checkpoint.FIELDS:
+                arr = data[f]
+                if arr.shape != getattr(solver, f).shape:
+                    raise ValueError(
+                        f"checkpoint field {f} has shape {arr.shape}, "
+                        f"solver expects {getattr(solver, f).shape}"
+                    )
+                setattr(solver, f, arr.copy())
+            solver.t = float(data["t"])
+            solver.step_count = int(data["step_count"])
+            verts = data["vertices"]
+            if verts.shape == solver.space.mesh.vertices.shape:
+                solver.space.mesh.vertices[:] = verts
+
+
+def vertex_velocity_fields(space: FunctionSpace, u_hat, v_hat) -> dict:
+    """Convenience: the vertex fields most runs want to write."""
+    return {
+        "u": space.eval_at_vertices(u_hat),
+        "v": space.eval_at_vertices(v_hat),
+    }

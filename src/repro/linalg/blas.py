@@ -1,0 +1,212 @@
+"""BLAS substrate: the kernels the paper benchmarks and the DNS code uses.
+
+"BLAS routines account for most of the work in the codes presented"
+(Section 3.1).  We provide the five routines the paper times — ``dcopy``,
+``daxpy``, ``ddot``, ``dgemv``, ``dgemm`` — plus the handful of others the
+solver needs, as thin numpy wrappers that (a) follow BLAS calling
+semantics closely enough to be drop-in, and (b) report exact flop and
+byte counts to :mod:`repro.linalg.counters` so application stages can be
+priced on the simulated machines.
+
+Traffic accounting convention (used consistently by the CPU model):
+every operand element read or written counts 8 bytes once per kernel
+call; cache reuse *within* a call is the CPU model's business, reuse
+*across* calls is ignored (an upper bound on traffic, matching the
+paper's "as seen by the user" stance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .counters import charge
+
+__all__ = [
+    "dcopy",
+    "daxpy",
+    "ddot",
+    "dscal",
+    "dnrm2",
+    "dgemv",
+    "dgemm",
+    "dvmul",
+    "dvadd",
+    "dsvtvp",
+    "flop_count",
+    "byte_count",
+]
+
+
+def _as1d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"expected 1-D vector, got shape {x.shape}")
+    return x
+
+
+def dcopy(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """y[:] = x.  Returns y.  (0 flops, 16 bytes/element.)"""
+    x, y = _as1d(x), _as1d(y)
+    if x.shape != y.shape:
+        raise ValueError("dcopy: shape mismatch")
+    np.copyto(y, x)
+    charge(0.0, 16.0 * x.size, "dcopy")
+    return y
+
+
+def daxpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """y += alpha * x, in place.  (2 flops and 24 bytes per element.)"""
+    x, y = _as1d(x), _as1d(y)
+    if x.shape != y.shape:
+        raise ValueError("daxpy: shape mismatch")
+    # In-place multiply-add: one temporary-free path per the numpy guide.
+    y += alpha * x
+    charge(2.0 * x.size, 24.0 * x.size, "daxpy")
+    return y
+
+
+def ddot(x: np.ndarray, y: np.ndarray) -> float:
+    """Inner product x . y.  (2 flops and 16 bytes per element.)"""
+    x, y = _as1d(x), _as1d(y)
+    if x.shape != y.shape:
+        raise ValueError("ddot: shape mismatch")
+    charge(2.0 * x.size, 16.0 * x.size, "ddot")
+    return float(np.dot(x, y))
+
+
+def dscal(alpha: float, x: np.ndarray) -> np.ndarray:
+    """x *= alpha, in place.  (1 flop, 16 bytes per element.)"""
+    x = _as1d(x)
+    x *= alpha
+    charge(1.0 * x.size, 16.0 * x.size, "dscal")
+    return x
+
+
+def dnrm2(x: np.ndarray) -> float:
+    """Euclidean norm.  (2 flops per element plus one sqrt.)"""
+    x = _as1d(x)
+    charge(2.0 * x.size + 1, 8.0 * x.size, "dnrm2")
+    return float(np.linalg.norm(x))
+
+
+def dgemv(
+    alpha: float,
+    a: np.ndarray,
+    x: np.ndarray,
+    beta: float,
+    y: np.ndarray,
+    trans: bool = False,
+) -> np.ndarray:
+    """y = alpha * op(A) x + beta * y, in place.  op(A) = A or A^T.
+
+    (2*m*n flops; traffic dominated by the matrix, 8*m*n bytes.)
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError("dgemv: A must be 2-D")
+    x, y = _as1d(x), _as1d(y)
+    op = a.T if trans else a
+    m, n = op.shape
+    if x.size != n or y.size != m:
+        raise ValueError("dgemv: dimension mismatch")
+    if beta == 0.0:
+        y[:] = alpha * (op @ x)
+    else:
+        y *= beta
+        y += alpha * (op @ x)
+    charge(2.0 * m * n, 8.0 * (m * n + n + 2 * m), "dgemv")
+    return y
+
+
+def dgemm(
+    alpha: float,
+    a: np.ndarray,
+    b: np.ndarray,
+    beta: float,
+    c: np.ndarray,
+    transa: bool = False,
+    transb: bool = False,
+) -> np.ndarray:
+    """C = alpha * op(A) op(B) + beta * C, in place.  (2*m*n*k flops.)"""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    opa = a.T if transa else a
+    opb = b.T if transb else b
+    if opa.ndim != 2 or opb.ndim != 2 or c.ndim != 2:
+        raise ValueError("dgemm: operands must be 2-D")
+    m, k = opa.shape
+    k2, n = opb.shape
+    if k != k2 or c.shape != (m, n):
+        raise ValueError("dgemm: dimension mismatch")
+    if beta == 0.0:
+        np.matmul(opa, opb, out=c)
+        if alpha != 1.0:
+            c *= alpha
+    else:
+        c *= beta
+        c += alpha * (opa @ opb)
+    charge(2.0 * m * n * k, 8.0 * (m * k + k * n + 2 * m * n), "dgemm")
+    return c
+
+
+def dvmul(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """z = x * y elementwise (the NekTar ``dvmul`` vector kernel)."""
+    x, y, z = _as1d(x), _as1d(y), _as1d(z)
+    np.multiply(x, y, out=z)
+    charge(1.0 * x.size, 24.0 * x.size, "dvmul")
+    return z
+
+
+def dvadd(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """z = x + y elementwise."""
+    x, y, z = _as1d(x), _as1d(y), _as1d(z)
+    np.add(x, y, out=z)
+    charge(1.0 * x.size, 24.0 * x.size, "dvadd")
+    return z
+
+
+def dsvtvp(alpha: float, x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """z = alpha * x + y (scalar times vector plus vector)."""
+    x, y, z = _as1d(x), _as1d(y), _as1d(z)
+    np.multiply(x, alpha, out=z)
+    z += y
+    charge(2.0 * x.size, 24.0 * x.size, "dsvtvp")
+    return z
+
+
+# --- analytic op-count helpers (used by cost-model drivers) -----------------
+
+_FLOPS = {
+    "dcopy": lambda n: 0.0,
+    "daxpy": lambda n: 2.0 * n,
+    "ddot": lambda n: 2.0 * n,
+    "dscal": lambda n: 1.0 * n,
+    "dgemv": lambda n: 2.0 * n * n,
+    "dgemm": lambda n: 2.0 * n * n * n,
+}
+
+_BYTES = {
+    "dcopy": lambda n: 16.0 * n,
+    "daxpy": lambda n: 24.0 * n,
+    "ddot": lambda n: 16.0 * n,
+    "dscal": lambda n: 16.0 * n,
+    "dgemv": lambda n: 8.0 * (n * n + 3.0 * n),
+    "dgemm": lambda n: 8.0 * (4.0 * n * n),
+}
+
+
+def flop_count(routine: str, n: int) -> float:
+    """Flops for one call of ``routine`` on size-n operands (square for L2/L3)."""
+    try:
+        return _FLOPS[routine](n)
+    except KeyError:
+        raise ValueError(f"unknown BLAS routine {routine!r}") from None
+
+
+def byte_count(routine: str, n: int) -> float:
+    """Unique bytes touched by one call of ``routine`` on size-n operands."""
+    try:
+        return _BYTES[routine](n)
+    except KeyError:
+        raise ValueError(f"unknown BLAS routine {routine!r}") from None

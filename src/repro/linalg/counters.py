@@ -1,0 +1,63 @@
+"""Operation accounting for the BLAS substrate.
+
+Every kernel in :mod:`repro.linalg.blas` reports the floating-point
+operations it performed and the bytes it moved to the ambient
+:class:`OpCounter` (if one is active).  The application-level cost models
+(Tables 1-3) are built on these counts: a *real* reduced-size run is
+instrumented, and the per-stage flop/byte totals are then priced on each
+simulated machine by :mod:`repro.machines.cpu`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+_tls = threading.local()
+
+
+@dataclass
+class OpCounter:
+    """Accumulates flops and memory traffic, optionally per label.
+
+    Use as a context manager; counters nest (an inner counter also feeds
+    its parent, so a stage counter and a whole-run counter can be active
+    simultaneously).
+    """
+
+    flops: float = 0.0
+    bytes: float = 0.0
+    calls: int = 0
+    by_label: dict[str, tuple[float, float, int]] = field(default_factory=dict)
+    _parent: "OpCounter | None" = None
+
+    def charge(self, flops: float, nbytes: float, label: str = "") -> None:
+        self.flops += flops
+        self.bytes += nbytes
+        self.calls += 1
+        if label:
+            f, b, c = self.by_label.get(label, (0.0, 0.0, 0))
+            self.by_label[label] = (f + flops, b + nbytes, c + 1)
+        if self._parent is not None:
+            self._parent.charge(flops, nbytes, label)
+
+    def __enter__(self) -> "OpCounter":
+        self._parent = getattr(_tls, "active", None)
+        _tls.active = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _tls.active = self._parent
+        self._parent = None
+
+
+def active_counter() -> OpCounter | None:
+    """The innermost active counter on this thread, or None."""
+    return getattr(_tls, "active", None)
+
+
+def charge(flops: float, nbytes: float, label: str = "") -> None:
+    """Charge ops to the active counter (no-op when none is active)."""
+    counter = active_counter()
+    if counter is not None:
+        counter.charge(flops, nbytes, label)

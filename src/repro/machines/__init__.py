@@ -1,0 +1,33 @@
+"""Hardware substrate: CPU and network performance models, machine catalog."""
+
+from .catalog import (
+    ALLTOALL_FIGURE_NETWORKS,
+    BLAS_FIGURE_MACHINES,
+    CPUS,
+    MACHINES,
+    NETWORKS,
+    PINGPONG_FIGURE_NETWORKS,
+    MachineSpec,
+    machine,
+    network,
+)
+from .cpu import CPUModel, ROUTINES, routine_flops, routine_traffic, working_set
+from .network import NetworkModel
+
+__all__ = [
+    "CPUModel",
+    "NetworkModel",
+    "MachineSpec",
+    "CPUS",
+    "NETWORKS",
+    "MACHINES",
+    "machine",
+    "network",
+    "ROUTINES",
+    "routine_flops",
+    "routine_traffic",
+    "working_set",
+    "BLAS_FIGURE_MACHINES",
+    "PINGPONG_FIGURE_NETWORKS",
+    "ALLTOALL_FIGURE_NETWORKS",
+]

@@ -1,0 +1,73 @@
+"""Exact incompressible Navier-Stokes solutions used for verification.
+
+* Kovasznay flow — steady 2-D wake-like solution; the classic spectral
+  p-convergence benchmark for NekTar-family codes.
+* Taylor (Taylor-Green) vortex — time-decaying solution for temporal
+  accuracy of the splitting scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Kovasznay", "TaylorVortex"]
+
+
+@dataclass(frozen=True)
+class Kovasznay:
+    """Kovasznay (1948) steady laminar wake behind a grid.
+
+        u = 1 - exp(L x) cos(2 pi y)
+        v = (L / 2 pi) exp(L x) sin(2 pi y)
+        p = (1 - exp(2 L x)) / 2
+
+    with L = Re/2 - sqrt(Re^2/4 + 4 pi^2).  Satisfies steady NS at
+    nu = 1/Re exactly.
+    """
+
+    re: float = 40.0
+
+    @property
+    def nu(self) -> float:
+        return 1.0 / self.re
+
+    @property
+    def lam(self) -> float:
+        return self.re / 2.0 - math.sqrt(self.re**2 / 4.0 + 4.0 * math.pi**2)
+
+    def u(self, x, y):
+        return 1.0 - np.exp(self.lam * x) * np.cos(2 * np.pi * y)
+
+    def v(self, x, y):
+        return self.lam / (2 * np.pi) * np.exp(self.lam * x) * np.sin(2 * np.pi * y)
+
+    def p(self, x, y):
+        return 0.5 * (1.0 - np.exp(2 * self.lam * x))
+
+
+@dataclass(frozen=True)
+class TaylorVortex:
+    """Decaying Taylor-Green vortex:
+
+        u = -cos(k x) sin(k y) exp(-2 nu k^2 t)
+        v =  sin(k x) cos(k y) exp(-2 nu k^2 t)
+        p = -(cos(2 k x) + cos(2 k y)) exp(-4 nu k^2 t) / 4
+    """
+
+    nu: float = 0.05
+    k: float = 1.0
+
+    def decay(self, t: float) -> float:
+        return math.exp(-2.0 * self.nu * self.k**2 * t)
+
+    def u(self, x, y, t=0.0):
+        return -np.cos(self.k * x) * np.sin(self.k * y) * self.decay(t)
+
+    def v(self, x, y, t=0.0):
+        return np.sin(self.k * x) * np.cos(self.k * y) * self.decay(t)
+
+    def p(self, x, y, t=0.0):
+        return -0.25 * (np.cos(2 * self.k * x) + np.cos(2 * self.k * y)) * self.decay(t) ** 2

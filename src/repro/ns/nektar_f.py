@@ -1,0 +1,473 @@
+"""NekTar-F: Fourier x spectral/hp parallel Navier-Stokes solver.
+
+The paper's Section 4.2.1 algorithm, run on simmpi: one homogeneous
+(spanwise) direction is expanded in Fourier modes, distributed one
+block of modes per processor; the x-y planes are the 2-D spectral/hp
+discretisation.  Per timestep (stages as in Figures 13-14):
+
+1. per-mode modal -> quadrature transforms,
+2. non-linear terms: **global exchange (MPI_Alltoall) of the velocity
+   components** and their derivatives to the point decomposition,
+   Nxy 1-D inverse FFTs, physical-space products, FFTs, **global
+   exchange back** — the communication bottleneck the paper identifies,
+3. stiffly-stable weight-averaging,
+4. per-mode pressure-Poisson RHS (with the high-order rotational
+   pressure BC),
+5. per-mode direct banded Poisson solves, lambda = k^2,
+6. per-mode viscous RHS,
+7. per-mode direct Helmholtz solves (3 velocity components),
+   lambda = gamma0/(nu dt) + k^2.
+
+Real and imaginary parts share the same factorised matrices, exactly as
+the paper notes.  All compute is op-counted and (optionally) charged to
+the simulated machine's CPU model, so a run yields Table-2-style
+CPU/wall timings plus Figure 13-14 stage breakdowns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from ..assembly.boundary import build_edge_quadrature
+from ..assembly.condensation import CondensedOperator
+from ..assembly.global_system import project_dirichlet
+from ..assembly.operators import elemental_laplacian, elemental_mass
+from ..assembly.space import FunctionSpace
+from ..fourier.mapping import transpose_to_modes, transpose_to_points
+from ..fourier.transforms import fft_z, ifft_z, mode_blocks, nmodes_for, wavenumbers
+from ..linalg.counters import OpCounter
+from ..parallel.simmpi import VirtualComm
+from ..solvers.helmholtz import HelmholtzDirect
+from ..util.timing import StageTimer
+from .splitting import stiffly_stable
+from .stages import STAGES
+
+__all__ = ["NekTarF"]
+
+# Mode amplitude BC: fn(mode_index, x, y, t) -> complex amplitude.
+AmpFn = Callable[[int, float, float, float], complex]
+
+
+class NekTarF:
+    """One rank's share of the Fourier-parallel Navier-Stokes solver."""
+
+    def __init__(
+        self,
+        comm: VirtualComm,
+        space: FunctionSpace,
+        nz: int,
+        nu: float,
+        dt: float,
+        velocity_bcs: dict[str, tuple[AmpFn, AmpFn, AmpFn]],
+        pressure_dirichlet: tuple[str, ...] = (),
+        lz: float = 2.0 * np.pi,
+        time_order: int = 2,
+        charge_compute: bool = False,
+    ):
+        if nu <= 0 or dt <= 0:
+            raise ValueError("nu and dt must be positive")
+        self.comm = comm
+        self.space = space
+        self.nz = nz
+        self.nu = float(nu)
+        self.dt = float(dt)
+        self.lz = float(lz)
+        self.scheme = stiffly_stable(time_order)
+        self.charge_compute = charge_compute
+        self.velocity_bcs = dict(velocity_bcs)
+        self.vel_tags = tuple(sorted(velocity_bcs))
+        self.pressure_dirichlet = tuple(pressure_dirichlet)
+
+        nm = nmodes_for(nz)
+        self.all_k = wavenumbers(nz, lz)
+        self.my_modes = list(mode_blocks(nm, comm.size)[comm.rank])
+        self.k = self.all_k[self.my_modes]
+
+        # Per-local-mode solvers; real/imag share these factorizations.
+        self.p_solvers: list = []
+        self._p_pin = None
+        for m, k in zip(self.my_modes, self.k):
+            lam = float(k * k)
+            if self.pressure_dirichlet:
+                self.p_solvers.append(
+                    HelmholtzDirect(space, lam, self.pressure_dirichlet)
+                )
+            elif lam > 0.0:
+                self.p_solvers.append(HelmholtzDirect(space, lam))
+            else:
+                mats = [
+                    elemental_laplacian(space.dofmap.expansion(e), space.geom[e])
+                    for e in range(space.nelem)
+                ]
+                self._p_pin = int(space.dofmap.boundary_dofs()[0])
+                self.p_solvers.append(
+                    CondensedOperator(space, mats, [self._p_pin])
+                )
+        self._visc_cache: dict[tuple[int, float], HelmholtzDirect] = {}
+
+        # High-order pressure BC machinery (as in the serial solver).
+        self._edge_quads = {
+            tag: build_edge_quadrature(space, space.mesh.boundary_sides(tag))
+            for tag in self.vel_tags
+        }
+        self._local_minv: dict[int, np.ndarray] = {}
+        for quads in self._edge_quads.values():
+            for eq in quads:
+                if eq.elem not in self._local_minv:
+                    m = elemental_mass(
+                        space.dofmap.expansion(eq.elem), space.geom[eq.elem]
+                    )
+                    self._local_minv[eq.elem] = np.linalg.inv(m)
+        if self.vel_tags:
+            self._dirichlet_dofs, _ = project_dirichlet(
+                space, self.vel_tags, lambda x, y: 0.0
+            )
+        else:
+            self._dirichlet_dofs = np.array([], dtype=np.int64)
+
+        nloc = len(self.my_modes)
+        self.u_hat = np.zeros((nloc, space.ndof), dtype=np.complex128)
+        self.v_hat = np.zeros_like(self.u_hat)
+        self.w_hat = np.zeros_like(self.u_hat)
+        self.p_hat = np.zeros_like(self.u_hat)
+        self._hist_n: deque = deque(maxlen=self.scheme.order)
+        self._hist_u: deque = deque(maxlen=self.scheme.order)
+        self._hist_w: deque = deque(maxlen=self.scheme.order)
+        self.t = 0.0
+        self.step_count = 0
+        self.timer = StageTimer()
+        self.virtual = StageTimer()  # simulated machine per-stage cpu/wall
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @property
+    def nlocal(self) -> int:
+        return len(self.my_modes)
+
+    def _backward_c(self, field_hat: np.ndarray) -> np.ndarray:
+        """(nloc, ndof) complex coefficients -> (nloc, nelem, nq) values."""
+        out = np.empty(
+            (self.nlocal, self.space.nelem, self.space.nq), dtype=np.complex128
+        )
+        for i in range(self.nlocal):
+            out[i] = self.space.backward(field_hat[i].real) + 1j * self.space.backward(
+                field_hat[i].imag
+            )
+        return out
+
+    def _gradient_c(self, field_hat: np.ndarray):
+        gx = np.empty(
+            (self.nlocal, self.space.nelem, self.space.nq), dtype=np.complex128
+        )
+        gy = np.empty_like(gx)
+        for i in range(self.nlocal):
+            rx, ry = self.space.gradient(field_hat[i].real)
+            ix, iy = self.space.gradient(field_hat[i].imag)
+            gx[i] = rx + 1j * ix
+            gy[i] = ry + 1j * iy
+        return gx, gy
+
+    def _load_c(self, vals: np.ndarray) -> np.ndarray:
+        return self.space.load_vector(vals.real) + 1j * self.space.load_vector(
+            vals.imag
+        )
+
+    def _grad_load_c(self, fx: np.ndarray, fy: np.ndarray) -> np.ndarray:
+        return (
+            self.space.grad_load_vector(fx.real, fy.real)
+            + 1j * self.space.grad_load_vector(fx.imag, fy.imag)
+        )
+
+    def set_initial(self, u_amp: AmpFn, v_amp: AmpFn, w_amp: AmpFn) -> None:
+        """Project initial modal amplitudes (complex functions of x, y)."""
+        xq, yq = self.space.coords()
+        for i, m in enumerate(self.my_modes):
+            for hat, amp in ((self.u_hat, u_amp), (self.v_hat, v_amp), (self.w_hat, w_amp)):
+                vals = np.vectorize(
+                    lambda x, y: complex(amp(m, x, y, 0.0)), otypes=[np.complex128]
+                )(xq, yq)
+                hat[i] = self.space.forward(vals.real) + 1j * self.space.forward(
+                    vals.imag
+                )
+        self._hist_n.clear()
+        self._hist_u.clear()
+        self._hist_w.clear()
+
+    def _bc_values(self, comp: int, mode_i: int, t: float) -> np.ndarray | None:
+        """Dirichlet amplitude coefficients of one component and local mode."""
+        if not self.vel_tags:
+            return None
+        m = self.my_modes[mode_i]
+        re: dict[int, float] = {}
+        im: dict[int, float] = {}
+        for tag in self.vel_tags:
+            amp = self.velocity_bcs[tag][comp]
+            dofs, vals = project_dirichlet(
+                self.space, (tag,), lambda x, y: float(np.real(amp(m, x, y, t)))
+            )
+            re.update(zip(dofs.tolist(), vals.tolist()))
+            dofs, vals = project_dirichlet(
+                self.space, (tag,), lambda x, y: float(np.imag(amp(m, x, y, t)))
+            )
+            im.update(zip(dofs.tolist(), vals.tolist()))
+        return np.array(
+            [complex(re[int(d)], im[int(d)]) for d in self._dirichlet_dofs]
+        )
+
+    def _viscous_solver(self, mode_i: int, gamma0: float) -> HelmholtzDirect:
+        k = float(self.k[mode_i])
+        lam = gamma0 / (self.nu * self.dt) + k * k
+        key = (mode_i, round(lam, 9))
+        if key not in self._visc_cache:
+            self._visc_cache[key] = HelmholtzDirect(self.space, lam, self.vel_tags)
+        return self._visc_cache[key]
+
+    # -- the timestep ------------------------------------------------------------------
+
+    def step(self) -> None:
+        comm, space, dt = self.comm, self.space, self.dt
+        order = max(1, min(self.scheme.order, len(self._hist_u) + 1))
+        scheme = stiffly_stable(order)
+        t_new = self.t + dt
+
+        def stage(idx):
+            return _StageScope(self, STAGES[idx])
+
+        # Stage 1: modal -> quadrature.
+        with stage(0):
+            u = self._backward_c(self.u_hat)
+            v = self._backward_c(self.v_hat)
+            w = self._backward_c(self.w_hat)
+
+        # Stage 2: non-linear terms via the distributed transpose.
+        with stage(1):
+            ux, uy = self._gradient_c(self.u_hat)
+            vx, vy = self._gradient_c(self.v_hat)
+            wx, wy = self._gradient_c(self.w_hat)
+            ik = (1j * self.k)[:, None, None]
+            uz, vz, wz = ik * u, ik * v, ik * w
+            fields = [u, v, w, ux, uy, uz, vx, vy, vz, wx, wy, wz]
+            npts = space.nelem * space.nq
+            phys = []
+            for f in fields:
+                # (npoints, my_modes) -> transpose -> physical z planes.
+                pts = transpose_to_points(comm, f.reshape(self.nlocal, npts).T)
+                phys.append(ifft_z(pts, self.nz))  # (mypts, nz)
+            pu, pv, pw, pux, puy, puz, pvx, pvy, pvz, pwx, pwy, pwz = phys
+            nu_p = -(pu * pux + pv * puy + pw * puz)
+            nv_p = -(pu * pvx + pv * pvy + pw * pvz)
+            nw_p = -(pu * pwx + pv * pwy + pw * pwz)
+            n_modes = []
+            for f in (nu_p, nv_p, nw_p):
+                back = transpose_to_modes(comm, fft_z(f), npts)
+                n_modes.append(
+                    back.T.reshape(self.nlocal, space.nelem, space.nq)
+                )
+            nu_t, nv_t, nw_t = n_modes
+            omega_z = vx - uy
+            omega_x = wy - vz
+            omega_y = uz - wx
+
+        # Stage 3: weight-averaging.
+        with stage(2):
+            hist_u = [(u, v, w)] + list(self._hist_u)
+            hist_n = [(nu_t, nv_t, nw_t)] + list(self._hist_n)
+            uhx = sum(a * h[0] for a, h in zip(scheme.alpha, hist_u))
+            uhy = sum(a * h[1] for a, h in zip(scheme.alpha, hist_u))
+            uhz = sum(a * h[2] for a, h in zip(scheme.alpha, hist_u))
+            uhx = uhx + dt * sum(b * h[0] for b, h in zip(scheme.beta, hist_n))
+            uhy = uhy + dt * sum(b * h[1] for b, h in zip(scheme.beta, hist_n))
+            uhz = uhz + dt * sum(b * h[2] for b, h in zip(scheme.beta, hist_n))
+            hist_w = [(omega_x, omega_y, omega_z)] + list(self._hist_w)
+            wx_e = sum(b * h[0] for b, h in zip(scheme.beta, hist_w))
+            wy_e = sum(b * h[1] for b, h in zip(scheme.beta, hist_w))
+            wz_e = sum(b * h[2] for b, h in zip(scheme.beta, hist_w))
+
+        # Stage 4: per-mode pressure RHS + rotational pressure BC.
+        with stage(3):
+            rhs_p = np.empty((self.nlocal, space.ndof), dtype=np.complex128)
+            for i in range(self.nlocal):
+                kk = 1j * self.k[i]
+                rhs = self._grad_load_c(uhx[i], uhy[i]) - kk * self._load_c(uhz[i])
+                rhs /= dt
+                self._add_pressure_bc(
+                    rhs, i, wx_e[i], wy_e[i], wz_e[i], scheme.gamma0, t_new
+                )
+                rhs_p[i] = rhs
+
+        # Stage 5: per-mode Poisson solves.
+        with stage(4):
+            for i in range(self.nlocal):
+                self.p_hat[i] = self._solve_pressure(i, rhs_p[i])
+
+        # Stage 6: viscous RHS.
+        with stage(5):
+            rhs_u = np.empty_like(rhs_p)
+            rhs_v = np.empty_like(rhs_p)
+            rhs_w = np.empty_like(rhs_p)
+            scale = 1.0 / (self.nu * dt)
+            for i in range(self.nlocal):
+                px, py = self._gradient_c(self.p_hat[i : i + 1])
+                pz = (1j * self.k[i]) * self._backward_c(self.p_hat[i : i + 1])
+                rhs_u[i] = self._load_c(uhx[i] - dt * px[0]) * scale
+                rhs_v[i] = self._load_c(uhy[i] - dt * py[0]) * scale
+                rhs_w[i] = self._load_c(uhz[i] - dt * pz[0]) * scale
+
+        # Stage 7: per-mode Helmholtz solves, three components.
+        with stage(6):
+            for i in range(self.nlocal):
+                solver = self._viscous_solver(i, scheme.gamma0)
+                for hat, rhs, comp in (
+                    (self.u_hat, rhs_u, 0),
+                    (self.v_hat, rhs_v, 1),
+                    (self.w_hat, rhs_w, 2),
+                ):
+                    bc = self._bc_values(comp, i, t_new)
+                    re = solver.solve_rhs(
+                        rhs[i].real, None if bc is None else bc.real
+                    )
+                    im = solver.solve_rhs(
+                        rhs[i].imag, None if bc is None else bc.imag
+                    )
+                    hat[i] = re + 1j * im
+
+        self._hist_u.appendleft((u, v, w))
+        self._hist_n.appendleft((nu_t, nv_t, nw_t))
+        self._hist_w.appendleft((omega_x, omega_y, omega_z))
+        self.t = t_new
+        self.step_count += 1
+
+    def _solve_pressure(self, i: int, rhs: np.ndarray) -> np.ndarray:
+        solver = self.p_solvers[i]
+        if isinstance(solver, CondensedOperator):
+            return solver.solve(rhs.real, np.zeros(1)) + 1j * solver.solve(
+                rhs.imag, np.zeros(1)
+            )
+        zero = solver.bc_values(None)
+        return solver.solve_rhs(rhs.real, zero) + 1j * solver.solve_rhs(
+            rhs.imag, zero
+        )
+
+    def _add_pressure_bc(
+        self, rhs, mode_i, wx_e, wy_e, wz_e, gamma0, t_new
+    ) -> None:
+        """Per-mode rotational pressure BC:
+        oint phi [-nu (n x curl omega)_z-mode - gamma0 (u_b . n)/dt]."""
+        space, dm = self.space, self.space.dofmap
+        m = self.my_modes[mode_i]
+        kk = 1j * self.k[mode_i]
+        for tag, quads in self._edge_quads.items():
+            fu, fv, _fw = self.velocity_bcs[tag]
+            for eq in quads:
+                ei = eq.elem
+                exp = dm.expansion(ei)
+                gf = space.geom[ei]
+                minv = self._local_minv[ei]
+                # Local modal projections of the vorticity components.
+                wz_loc = minv @ (exp.phi @ (gf.jw * wz_e[ei]))
+                wx_loc = minv @ (exp.phi @ (gf.jw * wx_e[ei]))
+                wy_loc = minv @ (exp.phi @ (gf.jw * wy_e[ei]))
+                dwz_dx = eq.dphi_x.T @ wz_loc
+                dwz_dy = eq.dphi_y.T @ wz_loc
+                wx_edge = eq.phi.T @ wx_loc
+                wy_edge = eq.phi.T @ wy_loc
+                # n . curl(omega), z-Fourier form:
+                #   nx (d omega_z/dy - ik omega_y) + ny (ik omega_x - d omega_z/dx)
+                n_curl = eq.nx * (dwz_dy - kk * wy_edge) + eq.ny * (
+                    kk * wx_edge - dwz_dx
+                )
+                ubn = np.array(
+                    [
+                        complex(fu(m, x, y, t_new)) * nx
+                        + complex(fv(m, x, y, t_new)) * ny
+                        for x, y, nx, ny in zip(eq.x, eq.y, eq.nx, eq.ny)
+                    ]
+                )
+                term = -self.nu * n_curl - (gamma0 / self.dt) * ubn
+                local = eq.phi @ (eq.jw * term)
+                signs = dm.elem_signs[ei]
+                np.add.at(rhs, dm.elem_dofs[ei], signs * local)
+
+    def run(self, nsteps: int) -> None:
+        for _ in range(nsteps):
+            self.step()
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def velocity_physical(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather all modes (on every rank) and return physical-space
+        velocity arrays of shape (nelem, nq, nz)."""
+        out = []
+        for hat in (self.u_hat, self.v_hat, self.w_hat):
+            vals = self._backward_c(hat)  # (nloc, nelem, nq)
+            gathered = self.comm.allgather(vals)
+            modes = np.concatenate(gathered, axis=0)  # (nmodes, nelem, nq)
+            phys = ifft_z(np.moveaxis(modes, 0, -1), self.nz)
+            out.append(phys)
+        return tuple(out)
+
+    def kinetic_energy(self) -> float:
+        u, v, w = self.velocity_physical()
+        e = 0.0
+        for iz in range(self.nz):
+            e += 0.5 * self.space.integrate(
+                u[:, :, iz] ** 2 + v[:, :, iz] ** 2 + w[:, :, iz] ** 2
+            )
+        return e * (self.lz / self.nz)
+
+    def mode_energies(self) -> np.ndarray:
+        """Spanwise kinetic-energy spectrum E_m (all modes, every rank).
+
+        Parseval over the two-sided convention: the physical energy is
+        E = sum_m E_m with E_0 = (Lz/2) int |u_0|^2 and
+        E_m = Lz int |u_m|^2 for m >= 1.
+        """
+        local = np.zeros(len(self.all_k))
+        for i, m in enumerate(self.my_modes):
+            for hat in (self.u_hat, self.v_hat, self.w_hat):
+                vals = self.space.backward(hat[i].real) + 1j * self.space.backward(
+                    hat[i].imag
+                )
+                e2 = self.space.integrate(np.abs(vals) ** 2)
+                local[m] += 0.5 * self.lz * e2 * (1.0 if m == 0 else 2.0)
+        return np.asarray(self.comm.allreduce(local, op="sum"))
+
+    def stage_percentages(self, kind: str = "cpu") -> dict[str, float]:
+        timer = self.virtual if self.charge_compute else self.timer
+        return timer.percentages(kind)
+
+
+class _StageScope:
+    """Times a stage on the host AND on the simulated machine.
+
+    Host cpu/wall goes to ``solver.timer``.  If ``charge_compute`` is
+    set, the stage's counted flops are priced on the cluster CPU model
+    and charged to the rank's virtual clock; the stage's virtual
+    cpu/wall deltas (including any communication inside the stage) are
+    recorded in ``solver.virtual``.
+    """
+
+    def __init__(self, solver: NekTarF, name: str):
+        self.solver = solver
+        self.name = name
+
+    def __enter__(self):
+        self._host = self.solver.timer.stage(self.name).__enter__()
+        self._ops = OpCounter().__enter__()
+        self._w0 = self.solver.comm.wall
+        self._c0 = self.solver.comm.cpu_time
+        return self
+
+    def __exit__(self, *exc):
+        self._ops.__exit__(*exc)
+        self._host.__exit__(*exc)
+        if self.solver.charge_compute:
+            self.solver.comm.compute_flops(self._ops.flops)
+        self.solver.virtual.add(
+            self.name,
+            cpu=self.solver.comm.cpu_time - self._c0,
+            wall=self.solver.comm.wall - self._w0,
+        )

@@ -1,0 +1,52 @@
+"""Stiffly-stable splitting coefficients (Karniadakis, Israeli & Orszag 1991).
+
+The Navier-Stokes equations are "integrated in time using a high-order
+splitting scheme"; the paper uses the second-order member.  The scheme
+advances
+
+    (gamma0 u^{n+1} - sum_q alpha_q u^{n-q}) / dt
+        = sum_q beta_q N(u^{n-q}) - grad p^{n+1} + nu lap u^{n+1}
+
+with the backward-differentiation weights gamma0/alpha and the
+extrapolation weights beta below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SplittingScheme", "stiffly_stable"]
+
+_TABLE = {
+    1: (1.0, (1.0,), (1.0,)),
+    2: (1.5, (2.0, -0.5), (2.0, -1.0)),
+    3: (11.0 / 6.0, (3.0, -1.5, 1.0 / 3.0), (3.0, -3.0, 1.0)),
+}
+
+
+@dataclass(frozen=True)
+class SplittingScheme:
+    """Coefficients of the order-J stiffly-stable scheme."""
+
+    order: int
+    gamma0: float
+    alpha: tuple[float, ...]
+    beta: tuple[float, ...]
+
+    def __post_init__(self):
+        # Consistency: sum(alpha) = gamma0 (reproduces constants),
+        # sum(beta) = 1 (consistent extrapolation).
+        assert abs(sum(self.alpha) - self.gamma0) < 1e-12
+        assert abs(sum(self.beta) - 1.0) < 1e-12
+
+
+def stiffly_stable(order: int) -> SplittingScheme:
+    """The order-1, -2 or -3 stiffly-stable scheme."""
+    try:
+        gamma0, alpha, beta = _TABLE[order]
+    except KeyError:
+        raise ValueError(
+            f"stiffly-stable scheme available for orders {sorted(_TABLE)}, "
+            f"got {order}"
+        ) from None
+    return SplittingScheme(order, gamma0, alpha, beta)

@@ -1,0 +1,49 @@
+"""The paper's seven timestep stages (Section 4.1, Figure 12).
+
+Every NekTar analogue in this package charges its work to these stage
+names so the serial (Figure 12), NekTar-F (Figures 13-14) and
+NekTar-ALE (Figures 15-16) breakdowns come from the same instrument.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STAGES", "STAGE_DESCRIPTIONS", "ALE_GROUPS", "group_ale"]
+
+STAGES = (
+    "1:transform",
+    "2:nonlinear",
+    "3:average",
+    "4:pressure-rhs",
+    "5:pressure-solve",
+    "6:viscous-rhs",
+    "7:viscous-solve",
+)
+
+STAGE_DESCRIPTIONS = {
+    "1:transform": "Transformation from modal (transformed) to quadrature "
+    "(physical) space",
+    "2:nonlinear": "Evaluation of the non-linear terms in quadrature space",
+    "3:average": "Weight-averaging of non-linear terms with previous "
+    "time-steps",
+    "4:pressure-rhs": "Setup of the right hand side of the Poisson equation "
+    "for the pressure",
+    "5:pressure-solve": "Solution of the Laplacian for the Poisson equation",
+    "6:viscous-rhs": "Setup of the right hand side of the Helmholtz equation",
+    "7:viscous-solve": "Solution of the Laplacian for the Helmholtz equation",
+}
+
+# Figures 15-16 group the ALE stages: a = steps 1-4 and 6, b = step 5,
+# c = step 7 (which gains the extra mesh-velocity Helmholtz solve).
+ALE_GROUPS = {
+    "a": ("1:transform", "2:nonlinear", "3:average", "4:pressure-rhs", "6:viscous-rhs"),
+    "b": ("5:pressure-solve",),
+    "c": ("7:viscous-solve",),
+}
+
+
+def group_ale(percentages: dict[str, float]) -> dict[str, float]:
+    """Collapse a 7-stage percentage dict into the a/b/c ALE groups."""
+    return {
+        g: sum(percentages.get(s, 0.0) for s in stages)
+        for g, stages in ALE_GROUPS.items()
+    }

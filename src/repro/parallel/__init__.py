@@ -1,0 +1,13 @@
+"""Parallel substrate: virtual-time MPI (simmpi) and gather-scatter."""
+
+from .distributed import DistributedHelmholtz
+from .gs import GatherScatter
+from .simmpi import VirtualCluster, VirtualComm, payload_bytes
+
+__all__ = [
+    "VirtualCluster",
+    "VirtualComm",
+    "GatherScatter",
+    "DistributedHelmholtz",
+    "payload_bytes",
+]

@@ -1,0 +1,118 @@
+"""Tufo-Fischer style gather-scatter ("GS") library on simmpi.
+
+"The communication interface used, was designed by Tufo & Fischer ...
+allows for the treatment of all the communications using a binary-tree
+algorithm, pairwise exchanges, or a mix of these two.  Pairwise
+exchange is used for communicating values shared by only a few
+processors, while the binary-tree approach is used for values shared by
+many processors." (Section 4.2.2)
+
+:class:`GatherScatter` assembles (sums) values of shared global dofs
+across ranks: dofs shared by exactly two ranks go through pairwise
+neighbour exchanges; dofs shared by three or more ranks (partition
+cross-points) go through a dense allreduce (the binary-tree reduction).
+Crucially, *no Alltoall is used* — the property the paper credits for
+NekTar-ALE's good Ethernet-free scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .simmpi import VirtualComm
+
+__all__ = ["GatherScatter"]
+
+
+class GatherScatter:
+    """Sum-assembly of shared dof values across ranks.
+
+    Parameters
+    ----------
+    comm:
+        simmpi communicator.
+    shared_ids:
+        Sorted 1-D int array: the global ids of this rank's *interface*
+        dofs (dofs that may be owned by other ranks too).  ``exchange``
+        then operates on vectors aligned with this array.
+    """
+
+    def __init__(self, comm: VirtualComm, shared_ids: np.ndarray):
+        self.comm = comm
+        self.ids = np.asarray(shared_ids, dtype=np.int64)
+        if self.ids.ndim != 1 or (
+            self.ids.size > 1 and np.any(np.diff(self.ids) <= 0)
+        ):
+            raise ValueError("shared_ids must be sorted and unique")
+        self._index = {int(g): i for i, g in enumerate(self.ids)}
+
+        all_ids = comm.allgather(self.ids)
+        owners: dict[int, list[int]] = {}
+        for r, ids in enumerate(all_ids):
+            for g in ids.tolist():
+                owners.setdefault(g, []).append(r)
+
+        # Pairwise plan: partner -> local indices of dofs shared exactly
+        # by {me, partner}, in ascending global-id order on both sides.
+        me = comm.rank
+        pair_plan: dict[int, list[int]] = {}
+        tree_local: list[int] = []
+        tree_globals: set[int] = set()
+        for g in self.ids.tolist():
+            own = owners[g]
+            if len(own) == 1:
+                continue
+            if len(own) == 2:
+                partner = own[0] if own[1] == me else own[1]
+                pair_plan.setdefault(partner, []).append(self._index[g])
+            else:
+                tree_local.append(self._index[g])
+                tree_globals.add(g)
+        self.pair_plan = {
+            p: np.array(idx, dtype=np.int64) for p, idx in sorted(pair_plan.items())
+        }
+        # Global catalogue of multiply-shared dofs (same on all ranks).
+        all_tree = sorted(
+            {g for g, own in owners.items() if len(own) >= 3}
+        )
+        self.tree_ids = np.array(all_tree, dtype=np.int64)
+        self.tree_local = np.array(tree_local, dtype=np.int64)
+        self.tree_slots = np.array(
+            [all_tree.index(int(self.ids[i])) for i in tree_local], dtype=np.int64
+        )
+        self.multiplicity = np.array(
+            [len(owners[int(g)]) for g in self.ids], dtype=np.float64
+        )
+
+    # -- operation -----------------------------------------------------------------
+
+    def exchange(self, values: np.ndarray) -> np.ndarray:
+        """Sum contributions of shared dofs across ranks.
+
+        ``values`` is aligned with ``shared_ids``; returns the assembled
+        (summed) vector, identical on every rank that shares each dof.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.ids.shape:
+            raise ValueError("values must align with shared_ids")
+        out = values.copy()
+        # Pairwise exchanges (deadlock-free: buffered sends first).
+        for partner, idx in self.pair_plan.items():
+            self.comm.send(partner, values[idx], tag=71)
+        for partner, idx in self.pair_plan.items():
+            other = self.comm.recv(partner, tag=71)
+            out[idx] += other
+        # Binary-tree (allreduce) for dofs shared by >= 3 ranks.
+        if self.tree_ids.size:
+            dense = np.zeros(self.tree_ids.size)
+            if self.tree_local.size:
+                dense[self.tree_slots] = values[self.tree_local]
+            summed = self.comm.allreduce(dense, op="sum")
+            if self.tree_local.size:
+                out[self.tree_local] = summed[self.tree_slots]
+        return out
+
+    def average(self, values: np.ndarray) -> np.ndarray:
+        """Assembled values divided by sharing multiplicity (consistent
+        nodal average across ranks)."""
+        return self.exchange(values) / self.multiplicity

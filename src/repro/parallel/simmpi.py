@@ -1,0 +1,378 @@
+"""simmpi: a virtual-time MPI on threads.
+
+Rank functions execute *real Python/numpy code on real data* — messages
+actually move arrays between ranks — while each rank carries two
+virtual clocks priced by the machine models:
+
+* ``wall`` — the paper's ``MPI_Wtime``: compute time plus communication
+  time including waiting (idle) time;
+* ``cpu``  — the paper's ``clock()``: compute time plus only the CPU
+  cost of the protocol stack (TCP copy/checksum overhead on the
+  Ethernet clusters, ~0 on OS-bypass networks).
+
+The difference between the two "indicates idle CPU time, which is
+associated with network inefficiency" (Section 4.2) — exactly the
+CPU/wall split Tables 2-3 report.
+
+Timing model: point-to-point messages use the Hockney model of the pair
+network (buffered send: the sender pays wire occupancy, the receiver
+completes at send_start + latency + bytes/bandwidth).  Collectives are
+data-correct (implemented with real exchanges) but priced with the
+calibrated collective cost models of :class:`NetworkModel`, applied at
+the synchronisation point — this captures contention effects (Ethernet
+Alltoall saturation) that uncoordinated pairwise pricing would miss.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..machines.cpu import CPUModel
+from ..machines.network import NetworkModel
+
+__all__ = ["VirtualCluster", "VirtualComm", "payload_bytes"]
+
+
+def payload_bytes(obj: Any) -> int:
+    """Wire size of a message payload."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, np.floating, np.integer)):
+        return 8
+    if isinstance(obj, (tuple, list)) and all(
+        isinstance(x, (int, float, np.floating, np.integer)) for x in obj
+    ):
+        return 8 * len(obj)
+    return len(pickle.dumps(obj))
+
+
+@dataclass
+class _RankState:
+    wall: float = 0.0
+    cpu: float = 0.0
+    sent_bytes: float = 0.0
+    recv_bytes: float = 0.0
+    messages: int = 0
+    result: Any = None
+    error: BaseException | None = None
+
+
+@dataclass
+class _Collective:
+    """Rendezvous buffer for one collective call."""
+
+    expected: int
+    arrived: int = 0
+    data: dict[int, Any] = field(default_factory=dict)
+    t_start: float = 0.0
+    t_done: float = 0.0
+    released: int = 0
+    out: Any = None
+
+
+class VirtualCluster:
+    """A simulated machine: P ranks, a network model, an optional CPU
+    model for pricing compute, and a node topology for intra/internode
+    network selection."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        network: NetworkModel,
+        cpu: CPUModel | None = None,
+        procs_per_node: int = 1,
+        intranode: NetworkModel | None = None,
+    ):
+        if nprocs < 1:
+            raise ValueError("need at least one rank")
+        self.nprocs = nprocs
+        self.network = network
+        self.cpu = cpu
+        self.procs_per_node = max(1, procs_per_node)
+        self.intranode = intranode
+        self._lock = threading.Condition()
+        self._mailbox: dict[tuple[int, int, int], deque] = {}
+        self._collectives: dict[tuple[str, int], _Collective] = {}
+        self._coll_seq: dict[str, int] = {}
+        self.ranks = [_RankState() for _ in range(nprocs)]
+
+    # -- topology ---------------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.procs_per_node
+
+    def pair_network(self, a: int, b: int) -> NetworkModel:
+        if self.intranode is not None and self.node_of(a) == self.node_of(b):
+            return self.intranode
+        return self.network
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, fn: Callable[["VirtualComm"], Any], *args, **kwargs) -> list[Any]:
+        """Run ``fn(comm, *args)`` on every rank; returns per-rank results."""
+        threads = []
+        for r in range(self.nprocs):
+            comm = VirtualComm(self, r)
+
+            def work(comm=comm):
+                st = self.ranks[comm.rank]
+                try:
+                    st.result = fn(comm, *args, **kwargs)
+                except BaseException as exc:  # propagate to caller
+                    st.error = exc
+                    with self._lock:
+                        self._lock.notify_all()
+
+            t = threading.Thread(target=work, daemon=True)
+            threads.append(t)
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        errors = [st.error for st in self.ranks if st.error is not None]
+        if errors:
+            raise errors[0]
+        return [st.result for st in self.ranks]
+
+    @property
+    def max_wall(self) -> float:
+        return max(st.wall for st in self.ranks)
+
+    @property
+    def max_cpu(self) -> float:
+        return max(st.cpu for st in self.ranks)
+
+
+class VirtualComm:
+    """Per-rank communicator handle (the MPI_COMM_WORLD analogue)."""
+
+    def __init__(self, cluster: VirtualCluster, rank: int):
+        self.cluster = cluster
+        self.rank = rank
+        self._st = cluster.ranks[rank]
+
+    # -- clock ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.cluster.nprocs
+
+    @property
+    def wall(self) -> float:
+        """Virtual MPI_Wtime of this rank."""
+        return self._st.wall
+
+    @property
+    def cpu_time(self) -> float:
+        """Virtual clock() of this rank."""
+        return self._st.cpu
+
+    def compute(self, seconds: float) -> None:
+        """Charge `seconds` of pure computation."""
+        if seconds < 0:
+            raise ValueError("negative compute time")
+        self._st.wall += seconds
+        self._st.cpu += seconds
+
+    def compute_flops(self, flops: float) -> None:
+        """Charge computation priced by the cluster's CPU model."""
+        if self.cluster.cpu is None:
+            raise RuntimeError("cluster has no CPU model")
+        self.compute(self.cluster.cpu.app_time(flops))
+
+    # -- point-to-point ------------------------------------------------------------
+
+    def send(self, dest: int, obj: Any, tag: int = 0) -> None:
+        if not 0 <= dest < self.size or dest == self.rank:
+            raise ValueError(f"bad destination {dest}")
+        net = self.cluster.pair_network(self.rank, dest)
+        nbytes = payload_bytes(obj)
+        t_start = self._st.wall
+        ready = t_start + net.send_time(nbytes)
+        # Sender occupies the wire (store-and-forward into the NIC) and
+        # pays the protocol stack's CPU cost.
+        self._st.wall += nbytes / net.bandwidth
+        overhead = net.cpu_time_for_bytes(nbytes)
+        self._st.wall += overhead
+        self._st.cpu += overhead
+        self._st.sent_bytes += nbytes
+        self._st.messages += 1
+        cl = self.cluster
+        with cl._lock:
+            key = (self.rank, dest, tag)
+            cl._mailbox.setdefault(key, deque()).append((obj, ready, nbytes))
+            cl._lock.notify_all()
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size or source == self.rank:
+            raise ValueError(f"bad source {source}")
+        cl = self.cluster
+        key = (source, self.rank, tag)
+        with cl._lock:
+            while not cl._mailbox.get(key):
+                if any(st.error for st in cl.ranks):
+                    raise RuntimeError("peer rank failed") from next(
+                        st.error for st in cl.ranks if st.error
+                    )
+                cl._lock.wait(timeout=0.5)
+            obj, ready, nbytes = cl._mailbox[key].popleft()
+        net = cl.pair_network(source, self.rank)
+        overhead = net.cpu_time_for_bytes(nbytes)
+        waited = max(0.0, ready - self._st.wall)
+        self._st.wall = max(self._st.wall, ready) + overhead
+        # Busy-polling MPI stacks burn CPU while waiting (the paper's
+        # near-equal CPU/wall columns on vendor MPIs and GM).
+        self._st.cpu += overhead + net.busy_wait_fraction * waited
+        self._st.recv_bytes += nbytes
+        return obj
+
+    def sendrecv(self, dest: int, obj: Any, source: int, tag: int = 0) -> Any:
+        """Exchange with distinct partners without deadlock."""
+        self.send(dest, obj, tag)
+        return self.recv(source, tag)
+
+    # -- collectives -----------------------------------------------------------------
+
+    def _collective(self, kind: str, contribution: Any, pricing, combine):
+        """Generic synchronising collective.
+
+        pricing(t_start, all_data) -> completion wall time;
+        combine(all_data) -> per-rank output (called once).
+        """
+        cl = self.cluster
+        with cl._lock:
+            seq = cl._coll_seq.get(kind, 0)
+            key = (kind, seq)
+            coll = cl._collectives.get(key)
+            if coll is None or coll.arrived == coll.expected:
+                # Start a new instance (previous one full => next round).
+                if coll is not None and coll.arrived == coll.expected:
+                    seq += 1
+                    cl._coll_seq[kind] = seq
+                    key = (kind, seq)
+                coll = cl._collectives.setdefault(key, _Collective(expected=self.size))
+            coll.data[self.rank] = contribution
+            coll.arrived += 1
+            coll.t_start = max(coll.t_start, self._st.wall)
+            if coll.arrived == coll.expected:
+                coll.t_done = pricing(coll.t_start, coll.data)
+                coll.out = combine(coll.data)
+                cl._coll_seq[kind] = seq + 1
+                cl._lock.notify_all()
+            else:
+                while coll.arrived < coll.expected:
+                    if any(st.error for st in cl.ranks):
+                        raise RuntimeError("peer rank failed")
+                    cl._lock.wait(timeout=0.5)
+            coll.released += 1
+            out, t_done = coll.out, coll.t_done
+            if coll.released == coll.expected:
+                del cl._collectives[(key[0], key[1])]
+        waited = max(0.0, t_done - self._st.wall)
+        self._st.wall = t_done
+        self._st.cpu += cl.network.busy_wait_fraction * waited
+        return out
+
+    def barrier(self) -> None:
+        net = self.cluster.network
+        self._collective(
+            "barrier",
+            None,
+            lambda t0, data: t0 + net.barrier_time(self.size),
+            lambda data: None,
+        )
+
+    def alltoall(self, chunks: list[Any]) -> list[Any]:
+        """chunks[d] goes to rank d; returns what every rank sent to us."""
+        if len(chunks) != self.size:
+            raise ValueError("alltoall needs one chunk per rank")
+        net = self.cluster.network
+        me = self.rank
+        nbytes = max((payload_bytes(c) for c in chunks), default=0)
+        overhead = net.cpu_time_for_bytes(2.0 * nbytes * (self.size - 1))
+        self._st.cpu += overhead
+        self._st.sent_bytes += nbytes * (self.size - 1)
+        self._st.recv_bytes += nbytes * (self.size - 1)
+        self._st.messages += self.size - 1
+
+        def pricing(t0, data):
+            sizes = [
+                payload_bytes(c) for chunk in data.values() for c in chunk
+            ]
+            m = max(sizes) if sizes else 0
+            return t0 + net.alltoall_time(self.size, m) + overhead
+
+        out = self._collective(
+            "alltoall",
+            chunks,
+            pricing,
+            lambda data: {r: [data[s][r] for s in range(self.size)] for r in data},
+        )
+        return out[me]
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        net = self.cluster.network
+        nbytes = payload_bytes(value)
+
+        def pricing(t0, data):
+            return t0 + net.allreduce_time(self.size, nbytes)
+
+        def combine(data):
+            vals = [data[r] for r in sorted(data)]
+            if op == "sum":
+                out = vals[0]
+                if isinstance(out, np.ndarray):
+                    out = out.copy()
+                for v in vals[1:]:
+                    out = out + v
+                return out
+            if op == "max":
+                return max(vals) if not isinstance(vals[0], np.ndarray) else np.maximum.reduce(vals)
+            if op == "min":
+                return min(vals) if not isinstance(vals[0], np.ndarray) else np.minimum.reduce(vals)
+            raise ValueError(f"unknown op {op!r}")
+
+        return self._collective(f"allreduce-{op}", value, pricing, combine)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        net = self.cluster.network
+        import math
+
+        def pricing(t0, data):
+            nbytes = payload_bytes(data[root])
+            hops = math.ceil(math.log2(self.size)) if self.size > 1 else 0
+            return t0 + hops * net.send_time(nbytes)
+
+        return self._collective("bcast", value if self.rank == root else None, pricing, lambda data: data[root])
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        net = self.cluster.network
+        nbytes = payload_bytes(value)
+
+        def pricing(t0, data):
+            return t0 + (self.size - 1) * net.send_time(nbytes)
+
+        out = self._collective(
+            "gather", value, pricing, lambda data: [data[r] for r in sorted(data)]
+        )
+        return out if self.rank == root else None
+
+    def allgather(self, value: Any) -> list[Any]:
+        net = self.cluster.network
+        nbytes = payload_bytes(value)
+
+        def pricing(t0, data):
+            return t0 + self.cluster.network.allreduce_time(self.size, nbytes)
+
+        _ = net
+        return self._collective(
+            "allgather", value, pricing, lambda data: [data[r] for r in sorted(data)]
+        )

@@ -1,0 +1,5 @@
+"""Output formatting for the benchmark harness."""
+
+from .tables import ascii_table, format_percentages, format_series
+
+__all__ = ["ascii_table", "format_series", "format_percentages"]

@@ -1,0 +1,92 @@
+"""ASCII table / series emitters matching the paper's layout.
+
+Every benchmark driver funnels its output through these helpers so the
+regenerated tables read like the paper's (same row/column structure),
+and figure data is emitted as aligned columns (one block per curve)
+suitable for eyeballing or piping into a plotting tool.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["ascii_table", "format_series", "format_percentages"]
+
+
+def _fmt(x, width: int = 0) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            s = "0"
+        elif abs(x) >= 1e5 or abs(x) < 1e-3:
+            s = f"{x:.3g}"
+        else:
+            s = f"{x:.4g}"
+    else:
+        s = str(x)
+    return s.rjust(width) if width else s
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render rows as a boxed, right-aligned ASCII table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(
+        "|" + "|".join(f" {h.rjust(w)} " for h, w in zip(headers, widths)) + "|"
+    )
+    out.append(sep)
+    for row in srows:
+        out.append(
+            "|" + "|".join(f" {c.rjust(w)} " for c, w in zip(row, widths)) + "|"
+        )
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_series(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    xlabel: str,
+    ylabel: str,
+    title: str | None = None,
+    max_rows: int | None = None,
+) -> str:
+    """One column block per named curve: `x  y` pairs."""
+    out = []
+    if title:
+        out.append(f"# {title}")
+    for name, (xs, ys) in series.items():
+        out.append(f"## {name}  ({xlabel} -> {ylabel})")
+        pairs = list(zip(xs, ys))
+        if max_rows is not None and len(pairs) > max_rows:
+            stride = max(1, len(pairs) // max_rows)
+            pairs = pairs[::stride]
+        for x, y in pairs:
+            out.append(f"{_fmt(float(x)):>14}  {_fmt(float(y)):>14}")
+    return "\n".join(out)
+
+
+def format_percentages(
+    breakdown: dict[str, dict[str, float]], title: str | None = None
+) -> str:
+    """Figure 12-16 style: one column per case, one row per stage."""
+    cases = list(breakdown)
+    stages = sorted({s for b in breakdown.values() for s in b})
+    rows = [
+        [stage] + [f"{breakdown[c].get(stage, 0.0):.1f}%" for c in cases]
+        for stage in stages
+    ]
+    return ascii_table(["stage"] + cases, rows, title=title)

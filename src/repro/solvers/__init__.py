@@ -1,0 +1,5 @@
+"""Global solvers: direct banded and PCG Helmholtz/Poisson."""
+
+from .helmholtz import HelmholtzCG, HelmholtzDirect, solve_poisson
+
+__all__ = ["HelmholtzDirect", "HelmholtzCG", "solve_poisson"]

@@ -1,0 +1,168 @@
+"""Global Helmholtz / Poisson solvers on a FunctionSpace.
+
+The two workhorse solves of the splitting scheme (paper stages 5 and 7):
+
+    (nabla^2 - lam) u = -f      (weak form: L + lam M)
+
+with Dirichlet conditions on tagged boundary parts and natural
+(zero-flux Neumann) conditions elsewhere — the paper's outflow/side
+treatment for the bluff-body runs.  Two backends:
+
+* :class:`HelmholtzDirect` — banded Cholesky, factored once (NekTar's
+  serial and NekTar-F path),
+* :class:`HelmholtzCG` — diagonally preconditioned conjugate gradient
+  (NekTar-ALE's path).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..assembly.condensation import CondensedOperator
+from ..assembly.global_system import AssembledOperator, project_dirichlet
+from ..assembly.operators import elemental_helmholtz
+from ..assembly.space import FunctionSpace
+from ..linalg.cg import pcg
+
+__all__ = ["HelmholtzDirect", "HelmholtzCG", "solve_poisson"]
+
+ScalarFn = Callable[[float, float], float]
+
+
+def _sample(space: FunctionSpace, fn: ScalarFn | np.ndarray) -> np.ndarray:
+    if callable(fn):
+        xq, yq = space.coords()
+        vec = np.vectorize(fn, otypes=[np.float64])
+        return vec(xq, yq)
+    arr = np.asarray(fn, dtype=np.float64)
+    if arr.shape != (space.nelem, space.nq):
+        raise ValueError("field array must be (nelem, nq)")
+    return arr
+
+
+class _HelmholtzBase:
+    """Shared setup: elemental matrices + Dirichlet bookkeeping."""
+
+    def __init__(
+        self,
+        space: FunctionSpace,
+        lam: float = 0.0,
+        dirichlet_tags: tuple[str, ...] = (),
+    ):
+        self.space = space
+        self.lam = float(lam)
+        self.dirichlet_tags = tuple(dirichlet_tags)
+        self.elem_mats = [
+            elemental_helmholtz(space.dofmap.expansion(ei), space.geom[ei], self.lam)
+            for ei in range(space.nelem)
+        ]
+        if self.dirichlet_tags:
+            self.dirichlet_dofs, _ = project_dirichlet(
+                space, self.dirichlet_tags, lambda x, y: 0.0
+            )
+        else:
+            self.dirichlet_dofs = np.array([], dtype=np.int64)
+        if self.lam == 0.0 and self.dirichlet_dofs.size == 0:
+            raise ValueError(
+                "pure-Neumann Poisson problem is singular; fix a Dirichlet "
+                "part or use lam > 0"
+            )
+
+    def rhs_for(self, f: ScalarFn | np.ndarray) -> np.ndarray:
+        """Assembled load vector of the forcing (weak form of -lap u + lam u = f)."""
+        return self.space.load_vector(_sample(self.space, f))
+
+    def bc_values(self, g: ScalarFn | None) -> np.ndarray | None:
+        if not self.dirichlet_dofs.size:
+            return None
+        if g is None:
+            return np.zeros(self.dirichlet_dofs.size)
+        dofs, vals = project_dirichlet(self.space, self.dirichlet_tags, g)
+        assert np.array_equal(dofs, self.dirichlet_dofs)
+        return vals
+
+
+class HelmholtzDirect(_HelmholtzBase):
+    """Direct backend: static condensation + banded boundary solve
+    (NekTar's structure; Figure 10).  Set ``condense=False`` for the
+    plain full-banded factorisation."""
+
+    def __init__(self, space, lam=0.0, dirichlet_tags=(), condense=True):
+        super().__init__(space, lam, dirichlet_tags)
+        cls = CondensedOperator if condense else AssembledOperator
+        self.op = cls(space, self.elem_mats, self.dirichlet_dofs)
+
+    def solve(
+        self, f: ScalarFn | np.ndarray, g: ScalarFn | None = None
+    ) -> np.ndarray:
+        """Solve (L + lam M) u = (f, phi) with u = g on the Dirichlet part."""
+        return self.op.solve(self.rhs_for(f), self.bc_values(g))
+
+    def solve_rhs(
+        self, rhs: np.ndarray, dirichlet_values: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Solve with a pre-assembled global load vector (NS inner loop)."""
+        return self.op.solve(rhs, dirichlet_values)
+
+
+class HelmholtzCG(_HelmholtzBase):
+    """Jacobi-preconditioned CG backend (the NekTar-ALE solver)."""
+
+    def __init__(self, space, lam=0.0, dirichlet_tags=(), tol=1e-10, maxiter=None):
+        super().__init__(space, lam, dirichlet_tags)
+        self.tol = tol
+        self.maxiter = maxiter
+        self.a_full = space.assemble(self.elem_mats)
+        mask = np.ones(space.ndof, dtype=bool)
+        mask[self.dirichlet_dofs] = False
+        self.free = np.nonzero(mask)[0]
+        self.a_uu = self.a_full[np.ix_(self.free, self.free)].tocsr()
+        self.a_uk = self.a_full[np.ix_(self.free, self.dirichlet_dofs)].tocsr()
+        self.diag = np.asarray(self.a_uu.diagonal())
+        self.last_iterations = 0
+
+    def solve(self, f, g=None) -> np.ndarray:
+        return self.solve_rhs(self.rhs_for(f), self.bc_values(g))
+
+    def solve_rhs(self, rhs, dirichlet_values=None) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if self.dirichlet_dofs.size:
+            if dirichlet_values is None:
+                dirichlet_values = np.zeros(self.dirichlet_dofs.size)
+            b = rhs[self.free] - self.a_uk @ dirichlet_values
+        else:
+            b = rhs[self.free]
+        res = pcg(
+            lambda v: self.a_uu @ v,
+            b,
+            self.diag,
+            tol=self.tol,
+            maxiter=self.maxiter,
+        )
+        if not res.converged:
+            raise RuntimeError(
+                f"CG failed to converge: residual {res.residual:.3e} "
+                f"after {res.iterations} iterations"
+            )
+        self.last_iterations = res.iterations
+        u = np.zeros(self.space.ndof)
+        u[self.free] = res.x
+        if self.dirichlet_dofs.size:
+            u[self.dirichlet_dofs] = dirichlet_values
+        return u
+
+
+def solve_poisson(
+    space: FunctionSpace,
+    f: ScalarFn | np.ndarray,
+    dirichlet_tags: tuple[str, ...],
+    g: ScalarFn | None = None,
+    backend: str = "direct",
+) -> np.ndarray:
+    """One-shot Poisson solve: -lap u = f, u = g on tagged boundaries."""
+    cls = {"direct": HelmholtzDirect, "cg": HelmholtzCG}.get(backend)
+    if cls is None:
+        raise ValueError(f"unknown backend {backend!r}")
+    return cls(space, 0.0, tuple(dirichlet_tags)).solve(f, g)

@@ -1,0 +1,107 @@
+"""The modified (hierarchical) 1-D expansion basis.
+
+This is the "modified principal function" family psi~^a of Karniadakis &
+Sherwin used by both the quadrilateral and triangle expansions:
+
+    psi_0(x)  = (1 - x)/2                      (left vertex mode)
+    psi_p(x)  = (1-x)/2 (1+x)/2 P_{p-1}^{1,1}(x),  0 < p < P   (bubbles)
+    psi_P(x)  = (1 + x)/2                      (right vertex mode)
+
+At low order this reduces to linear finite elements; each added p mode
+enriches hierarchically without changing the existing ones (no
+remeshing needed for p-refinement, as the paper stresses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .jacobi import jacobi, jacobi_derivative
+
+__all__ = [
+    "h0",
+    "h1",
+    "dh0",
+    "dh1",
+    "modified_a",
+    "modified_a_deriv",
+    "bubble",
+    "bubble_deriv",
+    "edge_reversal_sign",
+]
+
+
+def h0(x: np.ndarray) -> np.ndarray:
+    """Left linear hat, (1 - x)/2."""
+    return 0.5 * (1.0 - np.asarray(x, dtype=np.float64))
+
+
+def h1(x: np.ndarray) -> np.ndarray:
+    """Right linear hat, (1 + x)/2."""
+    return 0.5 * (1.0 + np.asarray(x, dtype=np.float64))
+
+
+def dh0(x: np.ndarray) -> np.ndarray:
+    return np.full_like(np.asarray(x, dtype=np.float64), -0.5)
+
+
+def dh1(x: np.ndarray) -> np.ndarray:
+    return np.full_like(np.asarray(x, dtype=np.float64), 0.5)
+
+
+def bubble(k: int, x: np.ndarray) -> np.ndarray:
+    """Interior (bubble) mode k >= 0: h0 h1 P_k^{1,1}; degree k + 2."""
+    if k < 0:
+        raise ValueError("bubble index must be >= 0")
+    x = np.asarray(x, dtype=np.float64)
+    return h0(x) * h1(x) * jacobi(k, 1.0, 1.0, x)
+
+
+def bubble_deriv(k: int, x: np.ndarray) -> np.ndarray:
+    """d/dx of :func:`bubble` via the product rule."""
+    if k < 0:
+        raise ValueError("bubble index must be >= 0")
+    x = np.asarray(x, dtype=np.float64)
+    p = jacobi(k, 1.0, 1.0, x)
+    dp = jacobi_derivative(k, 1.0, 1.0, x)
+    # d/dx [h0 h1] = -x/2
+    return -0.5 * x * p + h0(x) * h1(x) * dp
+
+
+def modified_a(p: int, order: int, x: np.ndarray) -> np.ndarray:
+    """Mode p of the order-``order`` modified basis (p = 0 .. order)."""
+    _check_mode(p, order)
+    if p == 0:
+        return h0(x)
+    if p == order:
+        return h1(x)
+    return bubble(p - 1, x)
+
+
+def modified_a_deriv(p: int, order: int, x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`modified_a`."""
+    _check_mode(p, order)
+    if p == 0:
+        return dh0(x)
+    if p == order:
+        return dh1(x)
+    return bubble_deriv(p - 1, x)
+
+
+def edge_reversal_sign(k: int) -> int:
+    """Sign picked up by edge-interior mode k when the edge direction flips.
+
+    The trace of edge mode k is h0 h1 P_k^{1,1}; since
+    P_k^{1,1}(-x) = (-1)^k P_k^{1,1}(x) and h0 h1 is even, the mode is
+    even for even k and odd for odd k.
+    """
+    if k < 0:
+        raise ValueError("edge mode index must be >= 0")
+    return 1 if k % 2 == 0 else -1
+
+
+def _check_mode(p: int, order: int) -> None:
+    if order < 1:
+        raise ValueError("modified basis needs order >= 1")
+    if not 0 <= p <= order:
+        raise ValueError(f"mode {p} out of range for order {order}")

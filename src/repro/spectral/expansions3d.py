@@ -1,0 +1,195 @@
+"""3-D expansions: hexahedra, prisms and tetrahedra.
+
+"For three dimensions with non-periodic geometries or flows,
+tetrahedral, prism, hexahedral [elements] may be used (Karniadakis &
+Sherwin 1999)."  The NekTar-ALE flapping-wing case (Table 3) is a
+tetrahedral order-4 discretisation — 35 modes per element — and the
+cost model in :mod:`repro.apps.ale_bench` is grounded in the mode and
+quadrature counts implemented here.
+
+The hexahedron carries the full *modified* (C0-able) tensor basis; the
+tetrahedron and prism carry the *orthogonal* (Dubiner/Koornwinder)
+collapsed-coordinate bases, whose diagonal mass matrices make local
+projection exact and cheap.  Global 3-D C0 assembly is out of scope
+(see DESIGN.md): the 3-D application level is represented by the real
+2-D ALE solver plus these local 3-D operators and the cost model.
+
+Reference elements:
+
+* hex:  [-1, 1]^3
+* prism: {xi1, xi3 >= -1, xi1 + xi3 <= 0, |xi2| <= 1} (tri in (1,3))
+* tet:  {xi >= -1, xi1 + xi2 + xi3 <= -1}
+
+Collapsed (Duffy) coordinates for the tet:
+
+    a = -2 (1 + xi1)/(xi2 + xi3) - 1,
+    b =  2 (1 + xi2)/(1 - xi3) - 1,
+    c =  xi3,
+
+with volume Jacobian ((1-b)/2) ((1-c)/2)^2 absorbed by Gauss-Jacobi
+quadrature weights (alpha = 1 in b, alpha = 2 in c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .basis import modified_a
+from .jacobi import gauss_jacobi, jacobi
+
+__all__ = ["HexExpansion", "PrismExpansion", "TetExpansion", "dubiner_tri"]
+
+Array = np.ndarray
+
+
+def dubiner_tri(p: int, q: int, a: Array, b: Array) -> Array:
+    """Orthogonal (Dubiner) triangle mode in collapsed coordinates:
+    P_p(a) ((1-b)/2)^p P_q^{2p+1,0}(b), p + q <= order."""
+    return (
+        jacobi(p, 0.0, 0.0, a)
+        * (0.5 * (1.0 - b)) ** p
+        * jacobi(q, 2.0 * p + 1.0, 0.0, b)
+    )
+
+
+def _dubiner_tet(p: int, q: int, r: int, a: Array, b: Array, c: Array) -> Array:
+    """Orthogonal (Koornwinder) tetrahedron mode, p + q + r <= order."""
+    return (
+        jacobi(p, 0.0, 0.0, a)
+        * (0.5 * (1.0 - b)) ** p
+        * jacobi(q, 2.0 * p + 1.0, 0.0, b)
+        * (0.5 * (1.0 - c)) ** (p + q)
+        * jacobi(r, 2.0 * p + 2.0 * q + 2.0, 0.0, c)
+    )
+
+
+class _Expansion3D:
+    """Shared: tabulated modes on a tensor quadrature grid."""
+
+    def __init__(self, order: int, nq: int | None = None):
+        if order < 1:
+            raise ValueError("3-D expansions need order >= 1")
+        self.order = order
+        self.nq1d = nq if nq is not None else order + 2
+        self._build()
+        self._mass = None
+
+    @property
+    def nmodes(self) -> int:
+        return self.phi.shape[0]
+
+    @property
+    def nq(self) -> int:
+        return self.phi.shape[1]
+
+    def mass_matrix(self) -> Array:
+        if self._mass is None:
+            self._mass = (self.phi * self.weights) @ self.phi.T
+        return self._mass
+
+    def backward(self, coeffs: Array) -> Array:
+        return self.phi.T @ np.asarray(coeffs, dtype=np.float64)
+
+    def forward(self, fvals: Array) -> Array:
+        rhs = self.phi @ (self.weights * np.ravel(fvals))
+        return np.linalg.solve(self.mass_matrix(), rhs)
+
+    def integrate(self, fvals: Array) -> float:
+        return float(np.dot(self.weights, np.ravel(fvals)))
+
+    def volume(self) -> float:
+        return float(self.weights.sum())
+
+
+class HexExpansion(_Expansion3D):
+    """Modified (C0-able) tensor-product basis on the hexahedron:
+    (P+1)^3 modes; mode (p, q, r) = psi_p(xi1) psi_q(xi2) psi_r(xi3)."""
+
+    def _build(self) -> None:
+        P, n1 = self.order, self.nq1d
+        x, w = gauss_jacobi(n1)
+        b1 = np.array([modified_a(p, P, x) for p in range(P + 1)])
+        # Tensor grid, xi1 fastest.
+        self.points = (
+            np.tile(x, n1 * n1),
+            np.tile(np.repeat(x, n1), n1),
+            np.repeat(x, n1 * n1),
+        )
+        self.weights = np.einsum("i,j,k->kji", w, w, w).ravel()
+        nm = (P + 1) ** 3
+        phi = np.empty((nm, n1**3))
+        self.pqr = []
+        m = 0
+        for r in range(P + 1):
+            for q in range(P + 1):
+                for p in range(P + 1):
+                    phi[m] = np.einsum(
+                        "i,j,k->kji", b1[p], b1[q], b1[r]
+                    ).ravel()
+                    self.pqr.append((p, q, r))
+                    m += 1
+        self.phi = phi
+
+
+class PrismExpansion(_Expansion3D):
+    """Orthogonal basis on the prism: Dubiner triangle in (xi1, xi3) x
+    Legendre in xi2; (P+1)(P+2)/2 x (P+1) modes (full tensor order)."""
+
+    def _build(self) -> None:
+        P, n1 = self.order, self.nq1d
+        xa, wa = gauss_jacobi(n1)  # a (tri direction 1) and xi2
+        xc, wc = gauss_jacobi(n1, 1.0, 0.0)  # collapsed tri direction
+        A = np.tile(xa, n1 * n1)
+        X2 = np.tile(np.repeat(xa, n1), n1)
+        C = np.repeat(xc, n1 * n1)
+        self.points = (A, X2, C)
+        self.weights = 0.5 * np.einsum("i,j,k->kji", wa, wa, wc).ravel()
+        modes, pqr = [], []
+        for r in range(P + 1):  # xi2 (Legendre)
+            for p in range(P + 1):
+                for q in range(P + 1 - p):
+                    modes.append(
+                        dubiner_tri(p, q, A, C) * jacobi(r, 0.0, 0.0, X2)
+                    )
+                    pqr.append((p, q, r))
+        self.phi = np.array(modes)
+        self.pqr = pqr
+
+
+class TetExpansion(_Expansion3D):
+    """Orthogonal (Koornwinder) basis on the tetrahedron:
+    (P+1)(P+2)(P+3)/6 modes with p + q + r <= P; diagonal mass matrix."""
+
+    def _build(self) -> None:
+        P, n1 = self.order, self.nq1d
+        xa, wa = gauss_jacobi(n1)
+        xb, wb = gauss_jacobi(n1, 1.0, 0.0)
+        xc, wc = gauss_jacobi(n1, 2.0, 0.0)
+        A = np.tile(xa, n1 * n1)
+        B = np.tile(np.repeat(xb, n1), n1)
+        C = np.repeat(xc, n1 * n1)
+        self.points = (A, B, C)
+        # Duffy scale: (1/2)(1/4) with (1-b), (1-c)^2 in the weights.
+        self.weights = 0.125 * np.einsum("i,j,k->kji", wa, wb, wc).ravel()
+        modes, pqr = [], []
+        for p in range(P + 1):
+            for q in range(P + 1 - p):
+                for r in range(P + 1 - p - q):
+                    modes.append(_dubiner_tet(p, q, r, A, B, C))
+                    pqr.append((p, q, r))
+        self.phi = np.array(modes)
+        self.pqr = pqr
+
+    def reference_coords(self) -> tuple[Array, Array, Array]:
+        """Collapsed quadrature points mapped back to (xi1, xi2, xi3)."""
+        A, B, C = self.points
+        xi3 = C
+        xi2 = 0.5 * (1.0 + B) * (1.0 - C) - 1.0
+        xi1 = -0.5 * (1.0 + A) * (xi2 + xi3) - 1.0
+        return xi1, xi2, xi3
+
+
+def tet_mode_count(order: int) -> int:
+    """(P+1)(P+2)(P+3)/6 — the ALE cost model's per-element size
+    (35 at the paper's order 4)."""
+    return (order + 1) * (order + 2) * (order + 3) // 6

@@ -1,0 +1,41 @@
+"""Unit helpers shared by the performance models and reporting code.
+
+The paper mixes MB/s (figures 1, 7, 8), Mflop/s (figures 2-6), bytes
+(abscissae) and microseconds (latency).  Keeping the conversions in one
+place avoids the classic 1e6-vs-2**20 confusion: the paper's
+MB = 1e6 bytes (NetPIPE convention), and Mflop = 1e6 flops.
+"""
+
+from __future__ import annotations
+
+MEGA = 1.0e6
+GIGA = 1.0e9
+KIB = 1024
+MIB = 1024 * 1024
+DOUBLE = 8  # bytes per double-precision word
+
+MICRO = 1.0e-6
+
+
+def mb_per_s(nbytes: float, seconds: float) -> float:
+    """Throughput in the paper's MB/s (1 MB = 1e6 bytes)."""
+    if seconds <= 0.0:
+        raise ValueError("non-positive elapsed time")
+    return nbytes / seconds / MEGA
+
+
+def mflop_per_s(flops: float, seconds: float) -> float:
+    """Rate in Mflop/s (1 Mflop = 1e6 floating point operations)."""
+    if seconds <= 0.0:
+        raise ValueError("non-positive elapsed time")
+    return flops / seconds / MEGA
+
+
+def usec(seconds: float) -> float:
+    """Seconds -> microseconds (figure 7 left panel)."""
+    return seconds / MICRO
+
+
+def doubles(nbytes: float) -> int:
+    """Number of 8-byte words that fit in ``nbytes``."""
+    return int(nbytes // DOUBLE)

@@ -1,0 +1,78 @@
+import pytest
+
+from repro.apps.cost_of_ownership import (
+    PRICES_1999,
+    parallel_cost_table,
+    serial_cost_table,
+)
+
+
+def test_serial_pc_wins_price_performance():
+    rows = serial_cost_table()
+    # Sorted best-first; the PC leads by roughly an order of magnitude.
+    assert "Pentium" in rows[0][0]
+    assert rows[0][-1] > 8 * rows[1][-1]
+
+
+def test_parallel_cost_structure():
+    rows = parallel_cost_table(4)
+    by_label = {r[0]: r[-1] for r in rows}
+    # PC clusters above every supercomputer.
+    pc = ("Muses", "RoadRunner eth.", "RoadRunner myr.")
+    best_super = max(v for k, v in by_label.items() if k not in pc)
+    for k in pc:
+        assert by_label[k] > best_super
+    # At small P, Ethernet beats Myrinet on cost-effectiveness
+    # ("ethernet-based networks are likely more cost-efficient" at <= 4).
+    assert by_label["RoadRunner eth."] > by_label["RoadRunner myr."]
+
+
+def test_parallel_crossover_at_scale():
+    # At 32 processors the Ethernet saturation flips the ordering:
+    # Myrinet becomes the cost-effective PC option.
+    rows = parallel_cost_table(32)
+    by_label = {r[0]: r[-1] for r in rows}
+    assert "Muses" not in by_label  # only 4 nodes exist
+    assert by_label["RoadRunner myr."] > by_label["RoadRunner eth."]
+
+
+def test_prices_documented_for_all_systems():
+    rows = serial_cost_table() + parallel_cost_table(4)
+    assert all(r[-1] > 0 for r in rows)
+    assert PRICES_1999["Muses"] * 4 <= 10_000  # the paper's budget
+
+
+def test_mode_energies_parseval():
+    """NekTarF.mode_energies sums to the physical kinetic energy."""
+    import numpy as np
+
+    from repro.assembly.space import FunctionSpace
+    from repro.machines.network import NetworkModel
+    from repro.mesh.generators import rectangle_quads
+    from repro.ns.nektar_f import NekTarF
+    from repro.parallel.simmpi import VirtualCluster
+
+    mesh = rectangle_quads(2, 2, 0.0, 2 * np.pi, 0.0, 2 * np.pi)
+
+    def amp_u(m, x, y, t):
+        if m == 0:
+            return complex(np.cos(y))
+        if m == 1:
+            return complex(0.3, -0.2)
+        return 0.0
+
+    zero = lambda m, x, y, t: 0.0  # noqa: E731
+
+    def rank_fn(comm):
+        space = FunctionSpace(mesh, 4)
+        nf = NekTarF(comm, space, nz=4, nu=0.1, dt=1e-2, velocity_bcs={})
+        nf.set_initial(amp_u, zero, zero)
+        return nf.mode_energies(), nf.kinetic_energy()
+
+    net = NetworkModel("t", latency_us=5, bandwidth=1e9)
+    res = VirtualCluster(2, net).run(rank_fn)
+    spec, total = res[0]
+    assert spec.sum() == pytest.approx(total, rel=1e-8)
+    # Mode 1 energy: Lz * |a|^2 * area * 2(two-sided) * 1/2 ... check > 0
+    assert spec[1] > 0
+    assert spec[0] > 0

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.apps.ale_bench import TABLE3_PAPER, figure15_16, step_times as ale_times, table3
+from repro.apps.nektar_f_bench import (
+    TABLE2_PAPER,
+    figure13_14,
+    message_bytes,
+    step_times,
+    table2,
+)
+from repro.ns.stages import STAGES
+
+
+# ---- Table 2 / Figures 13-14 -------------------------------------------------
+
+
+def test_message_bytes_shrink_with_p():
+    # Weak scaling: m = Gamma/P x Nz/P with Nz = 2P -> m ~ 1/P.
+    assert message_bytes(4) == pytest.approx(message_bytes(8) * 2, rel=1e-12)
+
+
+def test_table2_ethernet_saturates_above_4_procs():
+    # "the ethernet-based network seems to saturate above 8 processors"
+    eth = {p: step_times("RoadRunner eth.", p)["wall"] for p in (2, 4, 8, 16, 32)}
+    assert eth[16] > 1.8 * eth[4]
+    assert eth[32] > 3.0 * eth[4]
+    # Myrinet stays flat out to 64.
+    myr = {p: step_times("RoadRunner myr.", p)["wall"] for p in (2, 64)}
+    assert myr[64] < 1.2 * myr[2]
+
+
+def test_table2_ethernet_cpu_time_inflates():
+    # TCP busy-wait and protocol overhead inflate the *CPU* column too.
+    t4 = step_times("RoadRunner eth.", 4)
+    t16 = step_times("RoadRunner eth.", 16)
+    assert t16["cpu"] > 1.2 * t4["cpu"]
+    assert t16["wall"] > t16["cpu"]  # but wall grows faster
+
+
+def test_table2_supercomputers_flat():
+    for system in ("NCSA", "SP2-Silver", "AP3000"):
+        t2 = step_times(system, 2)["wall"]
+        t16 = step_times(system, 16)["wall"]
+        assert t16 < 1.15 * t2
+
+
+def test_table2_rows_cover_paper():
+    rows = table2()
+    npaper = sum(len(v) for v in TABLE2_PAPER.values())
+    assert len(rows) == npaper
+
+
+def test_table2_matches_paper_within_factor2():
+    rows = table2()
+    for p, system, model, paper in rows:
+        mc, mw = (float(x) for x in model.split("/"))
+        pc, pw = (float(x) for x in paper.split("/"))
+        assert mc == pytest.approx(pc, rel=1.0), (p, system, "cpu")
+        assert mw == pytest.approx(pw, rel=1.0), (p, system, "wall")
+
+
+def test_figure13_14_structure():
+    fig = figure13_14(nprocs=4)
+    assert len(fig) == 8  # 4 systems x cpu/wall
+    for label, pct in fig.items():
+        assert set(pct) == set(STAGES)
+        assert sum(pct.values()) == pytest.approx(100.0)
+    # Step 2 dominates, and more so in wall-clock on Ethernet
+    # ("step 2 takes as much as 60% of the time").
+    eth_wall = fig["RoadRunner eth. (wall)"]["2:nonlinear"]
+    eth_cpu = fig["RoadRunner eth. (cpu)"]["2:nonlinear"]
+    ncsa_wall = fig["NCSA (wall)"]["2:nonlinear"]
+    assert eth_wall > eth_cpu - 1e-9
+    assert eth_wall > ncsa_wall
+    assert eth_wall > 40.0  # "step 2 takes as much as 60%" at higher P
+
+
+# ---- Table 3 / Figures 15-16 ----------------------------------------------------
+
+
+def test_table3_strong_scaling_shape():
+    ncsa = {p: ale_times("NCSA", p)["cpu"] for p in (16, 32, 64, 128)}
+    # Times drop with P (dof fixed).
+    assert ncsa[32] < ncsa[16]
+    assert ncsa[64] < ncsa[32]
+    assert ncsa[128] < ncsa[64]
+    # The 16->32 jump includes the 195->250 MHz processor switch the
+    # paper's footnote describes: better than 2x.
+    assert ncsa[16] / ncsa[32] > 2.0
+
+
+def test_table3_memory_pressure_penalty():
+    thin2 = ale_times("SP2-Thin2", 16)
+    silver = ale_times("SP2-Silver", 16)
+    assert thin2["penalty"] > 1.3
+    assert silver["penalty"] <= thin2["penalty"]
+    assert thin2["cpu"] > 1.8 * silver["cpu"]
+
+
+def test_table3_16p_pc_cluster_wins():
+    # "For 16 processors, the PC cluster is faster than the rest."
+    rr = ale_times("RoadRunner myr.", 16)["cpu"]
+    for system in ("AP3000", "NCSA", "SP2-Silver", "SP2-Thin2"):
+        assert rr <= ale_times(system, 16)["cpu"] * 1.01
+
+
+def test_table3_matches_paper_within_factor2():
+    scale_rows = table3()
+    for p, system, model, paper in scale_rows:
+        mc, _ = (float(x) for x in model.split("/"))
+        pc, _ = (float(x) for x in paper.split("/"))
+        assert mc == pytest.approx(pc, rel=0.8), (p, system)
+    npaper = sum(len(v) for v in TABLE3_PAPER.values())
+    assert len(scale_rows) == npaper
+
+
+def test_figure15_16_structure():
+    for p in (16, 64):
+        fig = figure15_16(p)
+        for label, pct in fig.items():
+            assert set(pct) == {"a", "b", "c"}
+            assert sum(pct.values()) == pytest.approx(100.0)
+            # Solve groups dominate; c (with the extra mesh-velocity
+            # Helmholtz) exceeds b.
+            assert pct["b"] + pct["c"] > 85.0
+            assert pct["c"] > pct["b"]

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.apps.kernel_report import report
+from repro.apps.matrix_structure import figure9, figure10, figure11
+
+
+@pytest.mark.parametrize("figure", [1, 2, 3, 4, 5, 6])
+def test_kernel_report_blas_figures(figure):
+    out = report(figure, "left", max_rows=5)
+    assert "Figure" in out
+    assert "Muses" in out or "Pentium" in out
+    right = report(figure, "right", max_rows=5)
+    assert "T3E" in right
+
+
+def test_kernel_report_fig7():
+    out = report(7, max_rows=4)
+    assert "latency" in out
+    assert "bandwidth" in out
+    assert "Muses MPICH" in out or "Muses" in out
+
+
+def test_kernel_report_fig8():
+    out = report(8, procs=8, max_rows=4)
+    assert "8 processors" in out
+
+
+def test_kernel_report_unknown_figure():
+    with pytest.raises(ValueError):
+        report(9)
+
+
+def test_figure9_mode_tables():
+    out = figure9()
+    assert "15 modes" in out
+    assert "25 modes" in out
+    assert "v0" in out and "i1_1" in out
+
+
+def test_figure10_spy_plots():
+    out = figure10()
+    assert "boundary dofs first" in out
+    assert "x" in out and "." in out
+    # Triangle order 4: 15x15 spy block present.
+    tri_block = out.split("\n\n")[0]
+    spy_lines = [
+        line for line in tri_block.splitlines() if set(line) <= {"x", "."} and line
+    ]
+    assert len(spy_lines) == 15
+    assert all(len(line) == 15 for line in spy_lines)
+
+
+def test_figure11_mesh_summaries():
+    out = figure11()
+    assert "bluff-body" in out
+    assert "NACA 4420" in out
+    assert "wall sides" in out
+
+
+def test_mains_run(capsys):
+    from repro.apps import kernel_report, matrix_structure
+
+    kernel_report.main(["--figure", "6"])
+    matrix_structure.main()
+    captured = capsys.readouterr()
+    assert "Figure" in captured.out

@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.assembly.condensation import CondensedOperator
+from repro.assembly.global_system import AssembledOperator, project_dirichlet
+from repro.assembly.operators import elemental_helmholtz
+from repro.assembly.space import FunctionSpace
+from repro.linalg.counters import OpCounter
+from repro.mesh.generators import bluff_body_mesh, rectangle_quads, rectangle_tris
+
+
+def build(mesh, order, lam, tags):
+    space = FunctionSpace(mesh, order)
+    mats = [
+        elemental_helmholtz(space.dofmap.expansion(e), space.geom[e], lam)
+        for e in range(space.nelem)
+    ]
+    dofs, _ = (
+        project_dirichlet(space, tags, lambda x, y: 0.0)
+        if tags
+        else (np.array([], dtype=np.int64), None)
+    )
+    return space, mats, dofs
+
+
+@pytest.mark.parametrize(
+    "mesh_fn,order",
+    [
+        (lambda: rectangle_quads(3, 2), 4),
+        (lambda: rectangle_tris(2, 2), 5),
+        (lambda: bluff_body_mesh(m=3, nr=1), 3),
+    ],
+)
+def test_condensed_matches_full_banded(mesh_fn, order):
+    mesh = mesh_fn()
+    tags = (
+        ("left",) if "left" in mesh.boundary_tags else ("inflow", "wall")
+    )
+    space, mats, dofs = build(mesh, order, 1.5, tags)
+    full = AssembledOperator(space, mats, dofs)
+    cond = CondensedOperator(space, mats, dofs)
+    rng = np.random.default_rng(0)
+    rhs = rng.standard_normal(space.ndof)
+    g = rng.standard_normal(dofs.size)
+    np.testing.assert_allclose(
+        cond.solve(rhs, g), full.solve(rhs, g), rtol=1e-8, atol=1e-8
+    )
+
+
+def test_condensed_without_dirichlet():
+    space, mats, _ = build(rectangle_quads(2, 2), 3, 2.0, ())
+    cond = CondensedOperator(space, mats)
+    full = AssembledOperator(space, mats)
+    rhs = np.random.default_rng(1).standard_normal(space.ndof)
+    np.testing.assert_allclose(cond.solve(rhs), full.solve(rhs), rtol=1e-8)
+
+
+def test_condensed_boundary_bandwidth_smaller():
+    mesh = bluff_body_mesh(m=4, nr=2)
+    space, mats, dofs = build(mesh, 5, 1.0, ("inflow",))
+    cond = CondensedOperator(space, mats, dofs)
+    full = AssembledOperator(space, mats, dofs)
+    assert cond.bandwidth < full.bandwidth
+    # And the condensed system itself is much smaller.
+    assert space.dofmap.nboundary < space.ndof
+
+
+def test_interior_dirichlet_rejected():
+    space, mats, _ = build(rectangle_quads(2, 2), 4, 1.0, ())
+    interior_dof = space.dofmap.interior_offset
+    with pytest.raises(ValueError):
+        CondensedOperator(space, mats, [interior_dof])
+
+
+def test_rhs_shape_check():
+    space, mats, _ = build(rectangle_quads(1, 1), 3, 1.0, ())
+    cond = CondensedOperator(space, mats)
+    with pytest.raises(ValueError):
+        cond.solve(np.ones(3))
+
+
+def test_all_boundary_dirichlet_degenerate_case():
+    # 1x1 mesh with every side Dirichlet: no free boundary dofs remain.
+    space, mats, dofs = build(
+        rectangle_quads(1, 1), 3, 1.0, ("left", "right", "top", "bottom")
+    )
+    cond = CondensedOperator(space, mats, dofs)
+    assert cond.solver is None
+    rhs = np.random.default_rng(2).standard_normal(space.ndof)
+    g = np.zeros(dofs.size)
+    full = AssembledOperator(space, mats, dofs)
+    np.testing.assert_allclose(cond.solve(rhs, g), full.solve(rhs, g), rtol=1e-9)
+
+
+def test_solve_charges_small_dense_ops():
+    # The condensed solve's per-element work shows up as small dgemv and
+    # Cholesky charges — the paper's "small n" regime.
+    space, mats, dofs = build(rectangle_quads(3, 3), 6, 1.0, ("left",))
+    cond = CondensedOperator(space, mats, dofs)
+    with OpCounter() as c:
+        cond.solve(np.ones(space.ndof), np.zeros(dofs.size))
+    assert "sc-chol" in c.by_label
+    assert "dgemv" in c.by_label
+    assert "dpbtrs" in c.by_label  # the boundary banded sweep

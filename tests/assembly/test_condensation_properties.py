@@ -1,0 +1,64 @@
+"""Property tests: condensed vs full solves on randomised problems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assembly.condensation import CondensedOperator
+from repro.assembly.global_system import AssembledOperator
+from repro.assembly.space import FunctionSpace
+from repro.mesh.generators import rectangle_quads, rectangle_tris
+
+
+@given(
+    st.integers(1, 3),
+    st.integers(1, 3),
+    st.integers(2, 5),
+    st.floats(0.0, 10.0),
+    st.booleans(),
+    st.integers(0, 1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_condensed_equals_full_random(nx, ny, order, lam, tris, seed):
+    from repro.assembly.operators import elemental_helmholtz
+
+    mesh = rectangle_tris(nx, ny) if tris else rectangle_quads(nx, ny)
+    space = FunctionSpace(mesh, order)
+    mats = [
+        elemental_helmholtz(space.dofmap.expansion(e), space.geom[e], lam)
+        for e in range(space.nelem)
+    ]
+    rng = np.random.default_rng(seed)
+    # Random boundary Dirichlet subset.
+    bnd = space.dofmap.boundary_dofs()
+    take = rng.random(bnd.size) < 0.4
+    dofs = bnd[take]
+    if lam == 0.0 and dofs.size == 0:
+        dofs = bnd[:1]  # keep the operator SPD
+    g = rng.standard_normal(dofs.size)
+    rhs = rng.standard_normal(space.ndof)
+    full = AssembledOperator(space, mats, dofs).solve(rhs, g)
+    cond = CondensedOperator(space, mats, dofs).solve(rhs, g)
+    np.testing.assert_allclose(cond, full, rtol=1e-6, atol=1e-6)
+
+
+@given(st.integers(2, 6), st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_condensed_solve_is_exact_inverse(order, seed):
+    """A u = rhs: apply the assembled operator to the condensed solution
+    and recover the rhs (free dofs)."""
+    from repro.assembly.operators import elemental_helmholtz
+
+    mesh = rectangle_quads(2, 2)
+    space = FunctionSpace(mesh, order)
+    mats = [
+        elemental_helmholtz(space.dofmap.expansion(e), space.geom[e], 1.0)
+        for e in range(space.nelem)
+    ]
+    rng = np.random.default_rng(seed)
+    rhs = rng.standard_normal(space.ndof)
+    cond = CondensedOperator(space, mats)
+    u = cond.solve(rhs)
+    a = space.assemble(mats)
+    np.testing.assert_allclose(a @ u, rhs, rtol=1e-7, atol=1e-7)

@@ -1,0 +1,117 @@
+"""Periodic boundary conditions: identified dofs across tag pairs."""
+
+import numpy as np
+import pytest
+
+from repro.assembly.dofmap import DofMap
+from repro.assembly.space import FunctionSpace
+from repro.mesh.generators import rectangle_quads
+from repro.solvers.helmholtz import HelmholtzDirect
+
+
+def test_nonperiodic_unchanged():
+    mesh = rectangle_quads(2, 2)
+    a = DofMap(mesh, 4)
+    b = DofMap(mesh, 4, periodic=())
+    for e in range(mesh.nelements):
+        np.testing.assert_array_equal(a.elem_dofs[e], b.elem_dofs[e])
+
+
+def test_periodic_dof_counts():
+    mesh = rectangle_quads(3, 2, 0.0, 1.0, 0.0, 1.0)
+    P = 3
+    plain = DofMap(mesh, P)
+    per = DofMap(mesh, P, periodic=[("left", "right")])
+    # 3 vertex pairs merged, 2 edge pairs merged.
+    assert per.n_vertex_dofs == mesh.nvertices - 3
+    assert per.n_edges == plain.n_edges - 2 if hasattr(plain, "n_edges") else True
+    assert per.ndof == plain.ndof - 3 - 2 * (P - 1)
+
+
+def test_doubly_periodic_dof_counts():
+    mesh = rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0)
+    P = 3
+    per = DofMap(
+        mesh, P, periodic=[("left", "right"), ("bottom", "top")]
+    )
+    # Torus: vertices = nx*ny, edges = 2*nx*ny.
+    assert per.n_vertex_dofs == 4
+    assert per.n_edges == 8
+
+
+def test_matched_sides_share_dofs():
+    mesh = rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0)
+    dm = DofMap(mesh, 4, periodic=[("left", "right")])
+    left = dm.boundary_dofs(["left"])
+    right = dm.boundary_dofs(["right"])
+    np.testing.assert_array_equal(left, right)
+
+
+def test_unequal_sides_rejected():
+    mesh = rectangle_quads(2, 2)
+    with pytest.raises(ValueError):
+        DofMap(mesh, 3, periodic=[("left", "bottom")])  # fine counts but...
+    # left/bottom have equal counts on a square mesh; mismatch comes from
+    # geometry: vertices don't map under one translation.
+
+
+def test_periodic_poisson_manufactured():
+    # -lap u = f, periodic in x, Dirichlet top/bottom.
+    mesh = rectangle_quads(3, 2, 0.0, 1.0, 0.0, 1.0)
+    u_exact = lambda x, y: np.sin(2 * np.pi * x) * np.sin(np.pi * y)  # noqa: E731
+    f = lambda x, y: 5 * np.pi**2 * u_exact(x, y)  # noqa: E731
+    errs = []
+    for P in (3, 5, 7):
+        space = FunctionSpace(mesh, P, periodic=[("left", "right")])
+        solver = HelmholtzDirect(space, 0.0, ("top", "bottom"))
+        u_hat = solver.solve(f)
+        xq, yq = space.coords()
+        errs.append(space.norm_l2(space.backward(u_hat) - u_exact(xq, yq)))
+    assert errs[1] < errs[0] / 5
+    assert errs[2] < errs[1] / 5
+    assert errs[2] < 1e-5
+
+
+def test_periodic_solution_continuous_across_seam():
+    mesh = rectangle_quads(3, 2, 0.0, 1.0, 0.0, 1.0)
+    space = FunctionSpace(mesh, 5, periodic=[("left", "right")])
+    solver = HelmholtzDirect(space, 1.0)
+    u_hat = solver.solve(lambda x, y: np.cos(2 * np.pi * x) * (1 + y))
+    vals = space.backward(u_hat)
+    xq, yq = space.coords()
+    # Compare values near x=0 and x=1 at matching y: the field is
+    # single-valued across the seam by construction; check x-periodicity
+    # of the solution against a dense evaluation.
+    left_pts = np.argsort(xq.ravel())[: space.nq // 2]
+    assert np.isfinite(vals).all()
+    # u at the two shared seam dofs is literally the same dof: verify
+    # boundary dof identity instead of interpolation.
+    dm = space.dofmap
+    np.testing.assert_array_equal(
+        dm.boundary_dofs(["left"]), dm.boundary_dofs(["right"])
+    )
+    _ = left_pts
+
+
+def test_fully_periodic_taylor_green():
+    """The paper's 'box code' workload: doubly periodic Taylor-Green
+    decay with no Dirichlet data at all (pressure pinned)."""
+    from repro.ns.exact import TaylorVortex
+    from repro.ns.nektar2d import NavierStokes2D
+
+    tv = TaylorVortex(nu=0.05)
+    mesh = rectangle_quads(2, 2, 0.0, 2 * np.pi, 0.0, 2 * np.pi)
+    space = FunctionSpace(
+        mesh, 6, periodic=[("left", "right"), ("bottom", "top")]
+    )
+    ns = NavierStokes2D(space, nu=0.05, dt=5e-3, velocity_bcs={})
+    ns.set_initial(
+        lambda x, y, t: tv.u(x, y, 0.0), lambda x, y, t: tv.v(x, y, 0.0)
+    )
+    e0 = ns.kinetic_energy()
+    ns.run(20)
+    expect = e0 * np.exp(-4 * 0.05 * ns.t)
+    assert ns.kinetic_energy() == pytest.approx(expect, rel=5e-3)
+    xq, yq = space.coords()
+    u, _ = ns.velocity()
+    assert space.norm_l2(u - tv.u(xq, yq, ns.t)) < 5e-3

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fourier.transforms import (
+    dz_hat,
+    fft_z,
+    ifft_z,
+    mode_blocks,
+    nmodes_for,
+    wavenumbers,
+)
+
+
+def test_nmodes_validation():
+    assert nmodes_for(8) == 4
+    with pytest.raises(ValueError):
+        nmodes_for(7)
+    with pytest.raises(ValueError):
+        nmodes_for(0)
+
+
+def test_wavenumbers_default_box():
+    np.testing.assert_allclose(wavenumbers(8), [0, 1, 2, 3])
+    np.testing.assert_allclose(wavenumbers(4, lz=np.pi), [0, 2])
+
+
+@given(st.integers(1, 4), st.integers(0, 999))
+@settings(max_examples=20, deadline=None)
+def test_fft_roundtrip(pow2, seed):
+    nz = 2 ** (pow2 + 1)
+    rng = np.random.default_rng(seed)
+    vals = rng.standard_normal((3, nz))
+    # Remove the Nyquist content our convention drops.
+    modes = fft_z(vals)
+    back = ifft_z(modes, nz)
+    again = ifft_z(fft_z(back), nz)
+    np.testing.assert_allclose(back, again, atol=1e-12)
+
+
+def test_fft_of_pure_cosine():
+    nz = 8
+    z = 2 * np.pi * np.arange(nz) / nz
+    vals = 3.0 * np.cos(2 * z)[None, :]
+    modes = fft_z(vals)
+    # cos(2z) -> mode 2 with amplitude 3/2 (two-sided convention).
+    np.testing.assert_allclose(modes[0, 2], 1.5, atol=1e-12)
+    modes[0, 2] = 0
+    np.testing.assert_allclose(modes, 0, atol=1e-12)
+
+
+def test_mode0_is_mean():
+    vals = np.array([[1.0, 2.0, 3.0, 4.0]])
+    assert fft_z(vals)[0, 0] == pytest.approx(2.5)
+
+
+def test_spectral_derivative_exact():
+    nz = 16
+    z = 2 * np.pi * np.arange(nz) / nz
+    vals = np.sin(3 * z)[None, :]
+    d = ifft_z(dz_hat(fft_z(vals), nz), nz)
+    np.testing.assert_allclose(d, 3 * np.cos(3 * z)[None, :], atol=1e-12)
+
+
+def test_ifft_shape_check():
+    with pytest.raises(ValueError):
+        ifft_z(np.zeros((2, 3), dtype=complex), 8)
+
+
+def test_mode_blocks():
+    blocks = mode_blocks(8, 4)
+    assert [list(b) for b in blocks] == [[0, 1], [2, 3], [4, 5], [6, 7]]
+    with pytest.raises(ValueError):
+        mode_blocks(6, 4)

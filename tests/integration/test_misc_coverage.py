@@ -1,0 +1,91 @@
+"""Coverage for small paths not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.machines.catalog import MACHINES, machine, network
+from repro.machines.network import NetworkModel
+from repro.parallel.simmpi import VirtualCluster
+
+NET = NetworkModel("t", latency_us=5, bandwidth=1e9)
+
+
+def test_machine_and_network_lookup_errors():
+    with pytest.raises(KeyError):
+        machine("Cray-1")
+    with pytest.raises(KeyError):
+        network("token-ring")
+    with pytest.raises(KeyError):
+        MACHINES["Muses"].network("myrinet")
+    assert MACHINES["RoadRunner"].network("myrinet").bandwidth > 0
+
+
+def test_machine_spec_ram_per_proc():
+    spec = MACHINES["SP2-Silver"]
+    assert spec.ram_per_proc == pytest.approx(spec.ram_per_node / 4)
+
+
+def test_cluster_aggregate_clocks():
+    def fn(comm):
+        comm.compute(0.1 * (comm.rank + 1))
+        return None
+
+    cl = VirtualCluster(3, NET)
+    cl.run(fn)
+    assert cl.max_wall == pytest.approx(0.3)
+    assert cl.max_cpu == pytest.approx(0.3)
+
+
+def test_sendrecv_exchange():
+    def fn(comm):
+        partner = 1 - comm.rank
+        got = comm.sendrecv(partner, np.full(4, float(comm.rank)), partner)
+        return float(got[0])
+
+    res = VirtualCluster(2, NET).run(fn)
+    assert res == [1.0, 0.0]
+
+
+def test_repro_all_entry(capsys):
+    from repro.__main__ import main
+
+    assert main(["all"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 2" in out and "Table 3" in out
+
+
+def test_stats_of_rank_traffic():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(1, np.zeros(100))
+        else:
+            comm.recv(0)
+
+    cl = VirtualCluster(2, NET)
+    cl.run(fn)
+    assert cl.ranks[0].sent_bytes == 800
+    assert cl.ranks[1].recv_bytes == 800
+    assert cl.ranks[0].messages == 1
+
+
+def test_solvers_expose_bandwidth_and_lambda():
+    from repro.assembly.space import FunctionSpace
+    from repro.mesh.generators import rectangle_quads
+    from repro.solvers.helmholtz import HelmholtzDirect
+
+    space = FunctionSpace(rectangle_quads(2, 2), 4)
+    solver = HelmholtzDirect(space, 2.5, ("left",))
+    assert solver.lam == 2.5
+    assert solver.op.bandwidth >= 0
+    # bc_values for a function.
+    vals = solver.bc_values(lambda x, y: x + 2 * y)
+    assert vals is not None and vals.size == solver.dirichlet_dofs.size
+
+
+def test_group_ale_missing_stage_keys():
+    from repro.ns.stages import group_ale
+
+    groups = group_ale({"5:pressure-solve": 40.0, "7:viscous-solve": 60.0})
+    assert groups["a"] == 0.0
+    assert groups["b"] == 40.0
+    assert groups["c"] == 60.0

@@ -1,0 +1,118 @@
+import pytest
+
+from repro.machines.catalog import NETWORKS
+from repro.machines.network import NetworkModel
+
+ETH = NETWORKS["RoadRunner, eth-internode"]
+MYR = NETWORKS["RoadRunner, myr-internode"]
+T3E = NETWORKS["T3E"]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NetworkModel("x", -1.0, 1e6)
+    with pytest.raises(ValueError):
+        NetworkModel("x", 10.0, 0.0)
+    with pytest.raises(ValueError):
+        T3E.send_time(-1)
+
+
+def test_send_time_structure():
+    n = NetworkModel("t", latency_us=100, bandwidth=10e6)
+    assert n.send_time(0) == pytest.approx(100e-6)
+    assert n.send_time(10_000_000) == pytest.approx(100e-6 + 1.0)
+
+
+def test_rendezvous_step():
+    n = NetworkModel("t", 10, 100e6, eager_threshold=1024, rendezvous_extra_us=50)
+    assert n.send_time(2048) - n.send_time(1024) > 50e-6
+
+
+def test_pingpong_bandwidth_asymptote():
+    for net in NETWORKS.values():
+        bw = net.pingpong_bandwidth(64 * 1024 * 1024)
+        assert bw == pytest.approx(net.bandwidth / 1e6, rel=0.05)
+    assert T3E.pingpong_bandwidth(0) == 0.0
+
+
+def test_claim_ethernet_high_latency_low_bandwidth():
+    # Figure 7: RoadRunner ethernet has the worst latency; Fast Ethernet
+    # bandwidth ceiling ~11 MB/s, half of most machines or less.
+    for name, net in NETWORKS.items():
+        if "eth" not in name and "Muses" not in name:
+            assert ETH.latency_us > net.latency_us
+    assert NETWORKS["Muses, LAM"].bandwidth < 12.5e6  # Fast Ethernet peak
+
+
+def test_claim_lam_beats_mpich_after_tuning():
+    assert (
+        NETWORKS["Muses, LAM"].latency_us < NETWORKS["Muses, MPICH"].latency_us
+    )
+
+
+def test_claim_myrinet_latency_competitive():
+    # "The inter-node myrinet network is comparable to the SP2-Silver
+    # nodes and better than the AP3000 and SP2-Thin with respect to
+    # latency."
+    assert MYR.latency_us <= NETWORKS["SP2-Silver, internode"].latency_us * 1.1
+    assert MYR.latency_us < NETWORKS["AP3000"].latency_us
+    assert MYR.latency_us < NETWORKS["SP2-Thin2"].latency_us
+
+
+def test_claim_myrinet_bandwidth_low_at_large_messages():
+    # "The bandwidth recorded, though, is lower than most systems, apart
+    # from the SP2-Thin2."
+    big = 8 << 20
+    myr = MYR.pingpong_bandwidth(big)
+    assert myr < NETWORKS["SP2-Silver, internode"].pingpong_bandwidth(big)
+    assert myr < NETWORKS["T3E"].pingpong_bandwidth(big)
+    assert myr < NETWORKS["AP3000"].pingpong_bandwidth(big)
+    assert myr > 0.9 * NETWORKS["SP2-Thin2"].pingpong_bandwidth(big)
+
+
+def test_alltoall_time_grows_with_procs():
+    for net in (ETH, MYR, T3E):
+        t4 = net.alltoall_time(4, 10000)
+        t8 = net.alltoall_time(8, 10000)
+        assert t8 > t4 > 0
+    assert T3E.alltoall_time(1, 100) == 0.0
+
+
+def test_claim_t3e_alltoall_dominates():
+    # "Apart from the T3E, which is 3 times higher than the rest..."
+    m = 1 << 20
+    t3e = T3E.alltoall_avg_bandwidth(8, m)
+    for name in ("AP3000", "SP2-Silver, internode", "RoadRunner, myr-internode"):
+        assert t3e > 2.0 * NETWORKS[name].alltoall_avg_bandwidth(8, m)
+
+
+def test_claim_ethernet_alltoall_saturates():
+    # Congestion: per-process Alltoall bandwidth on the ethernet cluster
+    # degrades sharply as P grows; Myrinet holds steady at small P.
+    m = 64 * 1024
+    eth4 = ETH.alltoall_avg_bandwidth(4, m)
+    eth16 = ETH.alltoall_avg_bandwidth(16, m)
+    assert eth16 < 0.6 * eth4
+    myr4 = MYR.alltoall_avg_bandwidth(4, m)
+    myr16 = MYR.alltoall_avg_bandwidth(16, m)
+    assert myr16 > 0.8 * myr4
+
+
+def test_allreduce_and_barrier():
+    t2 = T3E.allreduce_time(2, 8)
+    t8 = T3E.allreduce_time(8, 8)
+    assert t8 == pytest.approx(3 * t2, rel=1e-9)  # log2(8)/log2(2) hops
+    assert T3E.barrier_time(8) == pytest.approx(t8)
+    assert T3E.allreduce_time(1, 8) == 0.0
+
+
+def test_cpu_overhead_only_on_tcp_networks():
+    assert ETH.cpu_time_for_bytes(1e6) > 0
+    assert MYR.cpu_time_for_bytes(1e6) == 0.0
+    assert T3E.cpu_time_for_bytes(1e6) == 0.0
+
+
+def test_effective_capacity_cap():
+    assert ETH.effective_capacity(16) == pytest.approx(ETH.aggregate_capacity)
+    assert ETH.effective_capacity(16) < 16 * ETH.bandwidth
+    assert MYR.effective_capacity(4) == pytest.approx(4 * 33e6)

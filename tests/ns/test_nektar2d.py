@@ -1,0 +1,148 @@
+import numpy as np
+import pytest
+
+from repro.assembly.space import FunctionSpace
+from repro.mesh.generators import rectangle_quads
+from repro.ns.exact import Kovasznay, TaylorVortex
+from repro.ns.nektar2d import NavierStokes2D
+from repro.ns.stages import STAGES
+
+
+def kovasznay_solver(P=7, dt=2e-3):
+    kv = Kovasznay(40.0)
+    mesh = rectangle_quads(2, 2, -0.5, 1.0, -0.5, 0.5)
+    space = FunctionSpace(mesh, P)
+    bc_u = lambda x, y, t: float(kv.u(x, y))  # noqa: E731
+    bc_v = lambda x, y, t: float(kv.v(x, y))  # noqa: E731
+    bcs = {t: (bc_u, bc_v) for t in ("left", "top", "bottom")}
+    ns = NavierStokes2D(
+        space, kv.nu, dt, bcs, pressure_dirichlet=("right",), time_order=2
+    )
+    ns.set_initial(lambda x, y, t: kv.u(x, y), lambda x, y, t: kv.v(x, y))
+    return ns, kv, space
+
+
+def taylor_solver(P, dt, nu=0.05, time_order=2):
+    tv = TaylorVortex(nu=nu)
+    mesh = rectangle_quads(2, 2, 0.0, np.pi, 0.0, np.pi)
+    space = FunctionSpace(mesh, P)
+    bc_u = lambda x, y, t: float(tv.u(x, y, t))  # noqa: E731
+    bc_v = lambda x, y, t: float(tv.v(x, y, t))  # noqa: E731
+    bcs = {t: (bc_u, bc_v) for t in ("left", "right", "top", "bottom")}
+    ns = NavierStokes2D(space, nu, dt, bcs, time_order=time_order)
+    ns.set_initial(lambda x, y, t: tv.u(x, y, 0.0), lambda x, y, t: tv.v(x, y, 0.0))
+    return ns, tv, space
+
+
+def test_invalid_parameters():
+    space = FunctionSpace(rectangle_quads(1, 1), 3)
+    with pytest.raises(ValueError):
+        NavierStokes2D(space, -1.0, 0.01, {})
+    with pytest.raises(ValueError):
+        NavierStokes2D(space, 0.01, 0.0, {})
+
+
+def test_kovasznay_stays_on_exact_solution():
+    # Initialised at the exact steady solution, the solver must stay there.
+    ns, kv, space = kovasznay_solver(P=7, dt=2e-3)
+    xq, yq = space.coords()
+    ns.run(20)
+    u, v = ns.velocity()
+    err_u = space.norm_l2(u - kv.u(xq, yq))
+    err_v = space.norm_l2(v - kv.v(xq, yq))
+    # Splitting error floor at dt = 2e-3; the flow must not drift away.
+    assert err_u < 1e-3
+    assert err_v < 1e-3
+
+
+def test_kovasznay_convergence_from_perturbed_state():
+    ns, kv, space = kovasznay_solver(P=6, dt=2e-3)
+    xq, yq = space.coords()
+    # Perturb the initial state; the flow should relax towards Kovasznay.
+    ns.set_initial(
+        lambda x, y, t: kv.u(x, y) + 0.05 * np.sin(np.pi * y),
+        lambda x, y, t: kv.v(x, y),
+    )
+    ns.run(5)
+    u, _ = ns.velocity()
+    err0 = space.norm_l2(u - kv.u(xq, yq))
+    ns.run(160)
+    u, _ = ns.velocity()
+    err1 = space.norm_l2(u - kv.u(xq, yq))
+    # Perturbations wash out on the advective timescale (~1.5 time units);
+    # after 0.32 units the error must have decayed measurably.
+    assert err1 < 0.75 * err0
+
+
+def test_divergence_small_after_projection():
+    ns, _, _ = kovasznay_solver(P=6, dt=2e-3)
+    ns.run(5)
+    assert ns.divergence_norm() < 1e-2
+    # and compared to the velocity scale
+    assert ns.divergence_norm() < 0.01 * ns.max_velocity()
+
+
+def test_taylor_vortex_energy_decay():
+    ns, tv, space = taylor_solver(P=8, dt=2.5e-3)
+    e0 = ns.kinetic_energy()
+    ns.run(40)  # t = 0.1
+    e1 = ns.kinetic_energy()
+    expect = e0 * np.exp(-4.0 * tv.nu * 0.1)
+    assert e1 == pytest.approx(expect, rel=2e-3)
+
+
+def test_taylor_vortex_second_order_in_time():
+    errs = {}
+    for dt in (4e-3, 2e-3, 1e-3):
+        ns, tv, space = taylor_solver(P=9, dt=dt)
+        nsteps = round(0.08 / dt)
+        ns.run(nsteps)
+        xq, yq = space.coords()
+        u, _ = ns.velocity()
+        errs[dt] = space.norm_l2(u - tv.u(xq, yq, ns.t))
+    r1 = errs[4e-3] / errs[2e-3]
+    r2 = errs[2e-3] / errs[1e-3]
+    # Second order: halving dt should shrink error ~4x (allow 2.5+).
+    assert r1 > 2.5
+    assert r2 > 2.2
+
+
+def test_first_order_scheme_less_accurate():
+    e = {}
+    for order in (1, 2):
+        ns, tv, space = taylor_solver(P=8, dt=4e-3, time_order=order)
+        ns.run(25)
+        xq, yq = space.coords()
+        u, _ = ns.velocity()
+        e[order] = space.norm_l2(u - tv.u(xq, yq, ns.t))
+    assert e[2] < e[1] / 3
+
+
+def test_stage_instrumentation():
+    ns, _, _ = kovasznay_solver(P=5, dt=2e-3)
+    ns.run(3)
+    pct = ns.stage_percentages("cpu")
+    assert set(pct) == set(STAGES)
+    assert sum(pct.values()) == pytest.approx(100.0)
+    flops = ns.stage_flops()
+    # Solve stages do real work; transform stage does dgemv flops.
+    assert flops["5:pressure-solve"] > 0
+    assert flops["7:viscous-solve"] > 0
+    assert flops["1:transform"] > 0
+    b = ns.stage_bytes()
+    assert all(v >= 0 for v in b.values())
+
+
+def test_pressure_pin_path():
+    # All-Dirichlet velocity boundaries with no pressure tag uses the pin.
+    ns, tv, _ = taylor_solver(P=5, dt=2e-3)
+    assert ns._p_pin is not None
+    ns.run(2)
+    assert np.isfinite(ns.p_hat).all()
+
+
+def test_step_counter_and_time():
+    ns, _, _ = kovasznay_solver(P=5, dt=1e-3)
+    ns.run(4)
+    assert ns.step_count == 4
+    assert ns.t == pytest.approx(4e-3)

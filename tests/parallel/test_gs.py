@@ -1,0 +1,143 @@
+import numpy as np
+import pytest
+
+from repro.machines.network import NetworkModel
+from repro.parallel.gs import GatherScatter
+from repro.parallel.simmpi import VirtualCluster
+
+NET = NetworkModel("test", latency_us=10, bandwidth=100e6)
+
+
+def test_shared_ids_must_be_sorted():
+    def fn(comm):
+        GatherScatter(comm, np.array([3, 1, 2]))
+
+    # The validation fires on every rank before any collective.
+    with pytest.raises(ValueError):
+        VirtualCluster(2, NET).run(fn)
+
+
+def test_pairwise_exchange_two_ranks():
+    # Ranks 0 and 1 share global dofs 5 and 9.
+    def fn(comm):
+        ids = np.array([5, 9]) if comm.rank == 0 else np.array([5, 9])
+        gs = GatherScatter(comm, ids)
+        vals = np.array([1.0, 2.0]) if comm.rank == 0 else np.array([10.0, 20.0])
+        return gs.exchange(vals)
+
+    res = VirtualCluster(2, NET).run(fn)
+    for r in res:
+        np.testing.assert_array_equal(r, [11.0, 22.0])
+
+
+def test_private_ids_untouched():
+    def fn(comm):
+        # id 100+rank is private; id 7 is shared.
+        ids = np.array(sorted([7, 100 + comm.rank]))
+        gs = GatherScatter(comm, ids)
+        vals = np.where(ids == 7, 1.0, 5.0 + comm.rank)
+        out = gs.exchange(vals)
+        return ids, out
+
+    res = VirtualCluster(2, NET).run(fn)
+    for rank, (ids, out) in enumerate(res):
+        assert out[list(ids).index(7)] == 2.0
+        assert out[list(ids).index(100 + rank)] == 5.0 + rank
+
+
+def test_tree_path_for_multiply_shared():
+    # Global dof 0 is shared by all four ranks (a cross point).
+    def fn(comm):
+        ids = np.array([0, 10 + comm.rank])
+        gs = GatherScatter(comm, ids)
+        vals = np.array([1.0 + comm.rank, 0.5])
+        out = gs.exchange(vals)
+        return out[0]
+
+    res = VirtualCluster(4, NET).run(fn)
+    assert all(r == pytest.approx(1.0 + 2.0 + 3.0 + 4.0) for r in res)
+
+
+def test_mixed_pairwise_and_tree():
+    # dof 0: all ranks; dof 1: ranks 0,1; dof 2: ranks 2,3.
+    def fn(comm):
+        if comm.rank in (0, 1):
+            ids = np.array([0, 1])
+        else:
+            ids = np.array([0, 2])
+        gs = GatherScatter(comm, ids)
+        vals = np.ones(2) * (comm.rank + 1)
+        return ids, gs.exchange(vals)
+
+    res = VirtualCluster(4, NET).run(fn)
+    for rank, (ids, out) in enumerate(res):
+        assert out[0] == pytest.approx(10.0)  # 1+2+3+4
+        if rank in (0, 1):
+            assert out[1] == pytest.approx(3.0)  # 1+2
+        else:
+            assert out[1] == pytest.approx(7.0)  # 3+4
+
+
+def test_multiplicity_and_average():
+    def fn(comm):
+        ids = np.array([0, 5 + comm.rank])
+        gs = GatherScatter(comm, ids)
+        np.testing.assert_array_equal(gs.multiplicity, [3.0, 1.0])
+        out = gs.average(np.array([6.0, 2.0]))
+        return out
+
+    res = VirtualCluster(3, NET).run(fn)
+    for out in res:
+        assert out[0] == pytest.approx(6.0)  # (6+6+6)/3
+        assert out[1] == pytest.approx(2.0)
+
+
+def test_values_shape_check():
+    def fn(comm):
+        gs = GatherScatter(comm, np.array([0]))
+        with pytest.raises(ValueError):
+            gs.exchange(np.ones(3))
+        gs.exchange(np.ones(1))  # peers must still match the collective
+
+    VirtualCluster(2, NET).run(fn)
+
+
+def test_gs_matches_serial_assembly():
+    # Distributed sum over random sharing pattern == dense np.add.at.
+    rng = np.random.default_rng(3)
+    nranks, nglobal = 4, 30
+    owner_sets = [sorted(rng.choice(nglobal, size=12, replace=False)) for _ in range(nranks)]
+    values = [rng.standard_normal(12) for _ in range(nranks)]
+    dense = np.zeros(nglobal)
+    for ids, vals in zip(owner_sets, values):
+        np.add.at(dense, ids, vals)
+
+    def fn(comm):
+        ids = np.array(owner_sets[comm.rank])
+        gs = GatherScatter(comm, ids)
+        return gs.exchange(values[comm.rank])
+
+    res = VirtualCluster(nranks, NET).run(fn)
+    for rank, out in enumerate(res):
+        np.testing.assert_allclose(out, dense[owner_sets[rank]], rtol=1e-12)
+
+
+def test_no_alltoall_used():
+    # The ALE path must not use Alltoall (Section 4.2.2); verify the
+    # communicator's alltoall is never invoked by GS.
+    calls = []
+
+    def fn(comm):
+        orig = comm.alltoall
+
+        def spy(chunks):
+            calls.append(1)
+            return orig(chunks)
+
+        comm.alltoall = spy
+        ids = np.array([0, 1 + comm.rank])
+        gs = GatherScatter(comm, ids)
+        gs.exchange(np.ones(2))
+
+    VirtualCluster(3, NET).run(fn)
+    assert calls == []

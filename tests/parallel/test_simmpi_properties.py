@@ -1,0 +1,107 @@
+"""Property-based tests of the virtual-time MPI runtime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.network import NetworkModel
+from repro.parallel.simmpi import VirtualCluster
+
+NET = NetworkModel("prop", latency_us=5, bandwidth=1e9)
+
+
+@given(
+    st.integers(2, 5),
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(1, 50)),
+        min_size=1,
+        max_size=20,
+    ),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_traffic_delivered_exactly_once(nprocs, raw_msgs, seed):
+    """Arbitrary point-to-point traffic: every message arrives once,
+    with the right payload, and clocks never run backwards."""
+    msgs = [
+        (s % nprocs, d % nprocs, n)
+        for s, d, n in raw_msgs
+        if (s % nprocs) != (d % nprocs)
+    ]
+    if not msgs:
+        return
+    rng = np.random.default_rng(seed)
+    payloads = {i: rng.standard_normal(n) for i, (_, _, n) in enumerate(msgs)}
+
+    def fn(comm):
+        clocks = [comm.wall]
+        for i, (src, dst, _) in enumerate(msgs):
+            if comm.rank == src:
+                comm.send(dst, payloads[i], tag=i)
+                clocks.append(comm.wall)
+        received = {}
+        for i, (src, dst, _) in enumerate(msgs):
+            if comm.rank == dst:
+                received[i] = comm.recv(src, tag=i)
+                clocks.append(comm.wall)
+        assert all(a <= b + 1e-15 for a, b in zip(clocks, clocks[1:]))
+        return received
+
+    results = VirtualCluster(nprocs, NET).run(fn)
+    for i, (src, dst, n) in enumerate(msgs):
+        got = results[dst][i]
+        np.testing.assert_array_equal(got, payloads[i])
+    # Nothing delivered to the wrong rank.
+    for r, rec in enumerate(results):
+        for i in rec:
+            assert msgs[i][1] == r
+
+
+@given(st.integers(2, 6), st.integers(1, 6))
+@settings(max_examples=15, deadline=None)
+def test_repeated_mixed_collectives_consistent(nprocs, rounds):
+    """Interleaved allreduce/alltoall/barrier rounds stay consistent
+    across ranks regardless of thread scheduling."""
+
+    def fn(comm):
+        out = []
+        for k in range(rounds):
+            s = comm.allreduce(float(comm.rank + k))
+            chunks = [np.array([float(comm.rank * 10 + d + k)]) for d in range(comm.size)]
+            parts = comm.alltoall(chunks)
+            comm.barrier()
+            out.append((s, float(sum(p[0] for p in parts))))
+        return out
+
+    results = VirtualCluster(nprocs, NET).run(fn)
+    for k in range(rounds):
+        expect_sum = sum(r + k for r in range(nprocs))
+        for rank, res in enumerate(results):
+            s, tot = res[k]
+            assert s == pytest.approx(expect_sum)
+            # sum over sources of (src*10 + my_rank + k)
+            expect_tot = sum(s0 * 10 + rank + k for s0 in range(nprocs))
+            assert tot == pytest.approx(expect_tot)
+
+
+@given(st.integers(2, 4), st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_virtual_time_deterministic_across_runs(nprocs, seed):
+    """The virtual clocks are a deterministic function of the program,
+    independent of real thread interleaving."""
+
+    def fn(comm):
+        rng = np.random.default_rng(seed + comm.rank)
+        comm.compute(float(rng.uniform(0, 1e-3)))
+        comm.allreduce(1.0)
+        if comm.rank == 0:
+            comm.send(1, np.zeros(100))
+        elif comm.rank == 1:
+            comm.recv(0)
+        comm.barrier()
+        return comm.wall
+
+    a = VirtualCluster(nprocs, NET).run(fn)
+    b = VirtualCluster(nprocs, NET).run(fn)
+    np.testing.assert_allclose(a, b, rtol=0, atol=0)

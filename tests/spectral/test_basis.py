@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spectral.basis import (
+    bubble,
+    bubble_deriv,
+    edge_reversal_sign,
+    h0,
+    h1,
+    modified_a,
+    modified_a_deriv,
+)
+
+xpts = np.linspace(-1.0, 1.0, 21)
+
+
+def test_hats_partition_of_unity():
+    np.testing.assert_allclose(h0(xpts) + h1(xpts), 1.0)
+
+
+def test_hats_nodal_values():
+    assert h0(np.array([-1.0]))[0] == 1.0
+    assert h0(np.array([1.0]))[0] == 0.0
+    assert h1(np.array([1.0]))[0] == 1.0
+
+
+@given(st.integers(0, 8))
+@settings(max_examples=20, deadline=None)
+def test_bubble_vanishes_at_endpoints(k):
+    ends = np.array([-1.0, 1.0])
+    np.testing.assert_allclose(bubble(k, ends), 0.0, atol=1e-14)
+
+
+@given(st.integers(0, 8))
+@settings(max_examples=20, deadline=None)
+def test_bubble_deriv_matches_fd(k):
+    h = 1e-6
+    fd = (bubble(k, xpts + h) - bubble(k, xpts - h)) / (2 * h)
+    np.testing.assert_allclose(bubble_deriv(k, xpts), fd, rtol=1e-5, atol=1e-6)
+
+
+def test_bubble_parity():
+    # bubble(k, -x) = (-1)^k bubble(k, x)
+    x = np.linspace(0.1, 0.9, 5)
+    for k in range(5):
+        np.testing.assert_allclose(
+            bubble(k, -x), (-1) ** k * bubble(k, x), rtol=1e-12
+        )
+
+
+def test_edge_reversal_sign_matches_parity():
+    for k in range(6):
+        assert edge_reversal_sign(k) == (-1) ** k
+
+
+def test_edge_reversal_sign_invalid():
+    with pytest.raises(ValueError):
+        edge_reversal_sign(-1)
+
+
+def test_modified_a_structure():
+    P = 5
+    np.testing.assert_allclose(modified_a(0, P, xpts), h0(xpts))
+    np.testing.assert_allclose(modified_a(P, P, xpts), h1(xpts))
+    for p in range(1, P):
+        np.testing.assert_allclose(modified_a(p, P, xpts), bubble(p - 1, xpts))
+
+
+def test_modified_a_deriv_matches_fd():
+    P, h = 4, 1e-6
+    for p in range(P + 1):
+        fd = (modified_a(p, P, xpts + h) - modified_a(p, P, xpts - h)) / (2 * h)
+        np.testing.assert_allclose(
+            modified_a_deriv(p, P, xpts), fd, rtol=1e-5, atol=1e-6
+        )
+
+
+def test_modified_a_linear_independence():
+    P = 6
+    x, _ = np.polynomial.legendre.leggauss(P + 1)
+    v = np.array([modified_a(p, P, x) for p in range(P + 1)])
+    assert np.linalg.matrix_rank(v) == P + 1
+
+
+def test_modified_a_spans_polynomials():
+    # Any degree-P polynomial is an exact combination of the P+1 modes.
+    P = 5
+    x = np.linspace(-1, 1, P + 1)
+    v = np.array([modified_a(p, P, x) for p in range(P + 1)])
+    target = 3.0 * x**5 - x**2 + 0.5
+    coeff = np.linalg.solve(v.T, target)
+    xf = np.linspace(-1, 1, 50)
+    vf = np.array([modified_a(p, P, xf) for p in range(P + 1)])
+    np.testing.assert_allclose(vf.T @ coeff, 3.0 * xf**5 - xf**2 + 0.5, atol=1e-9)
+
+
+def test_invalid_mode_requests():
+    with pytest.raises(ValueError):
+        modified_a(3, 2, xpts)
+    with pytest.raises(ValueError):
+        modified_a(-1, 4, xpts)
+    with pytest.raises(ValueError):
+        modified_a(0, 0, xpts)
+    with pytest.raises(ValueError):
+        bubble(-1, xpts)
+    with pytest.raises(ValueError):
+        bubble_deriv(-1, xpts)

@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spectral.expansions3d import (
+    HexExpansion,
+    PrismExpansion,
+    TetExpansion,
+    dubiner_tri,
+    tet_mode_count,
+)
+
+
+def test_mode_counts():
+    assert HexExpansion(3).nmodes == 64
+    assert TetExpansion(4).nmodes == 35  # the paper's ALE element size
+    assert tet_mode_count(4) == 35
+    assert PrismExpansion(2).nmodes == 6 * 3
+    for P in (1, 2, 3, 5):
+        assert TetExpansion(P).nmodes == (P + 1) * (P + 2) * (P + 3) // 6
+
+
+def test_invalid_order():
+    with pytest.raises(ValueError):
+        HexExpansion(0)
+
+
+def test_reference_volumes():
+    assert HexExpansion(2).volume() == pytest.approx(8.0)
+    assert TetExpansion(2).volume() == pytest.approx(4.0 / 3.0)
+    assert PrismExpansion(2).volume() == pytest.approx(4.0)
+
+
+def test_hex_mass_spd():
+    m = HexExpansion(3).mass_matrix()
+    np.testing.assert_allclose(m, m.T, atol=1e-12)
+    assert np.linalg.eigvalsh(m).min() > 0
+
+
+@pytest.mark.parametrize("cls", [TetExpansion, PrismExpansion])
+def test_orthogonal_bases_have_diagonal_mass(cls):
+    exp = cls(4)
+    m = exp.mass_matrix()
+    off = m - np.diag(np.diag(m))
+    assert np.abs(off).max() < 1e-10 * np.abs(np.diag(m)).max()
+    assert np.all(np.diag(m) > 0)
+
+
+def test_dubiner_tri_orthogonality():
+    from repro.spectral.jacobi import gauss_jacobi
+
+    xa, wa = gauss_jacobi(8)
+    xb, wb = gauss_jacobi(8, 1.0, 0.0)
+    A = np.tile(xa, 8)
+    B = np.repeat(xb, 8)
+    W = 0.5 * np.outer(wb, wa).ravel()
+    modes = [(p, q) for p in range(4) for q in range(4 - p)]
+    for i, (p1, q1) in enumerate(modes):
+        for p2, q2 in modes[i + 1 :]:
+            inner = np.sum(
+                W * dubiner_tri(p1, q1, A, B) * dubiner_tri(p2, q2, A, B)
+            )
+            assert abs(inner) < 1e-12
+
+
+@given(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2))
+@settings(max_examples=27, deadline=None)
+def test_tet_projection_reproduces_polynomials(i, j, k):
+    P = 6
+    if i + j + k > P:
+        return
+    exp = TetExpansion(P)
+    x1, x2, x3 = exp.reference_coords()
+    f = x1**i * x2**j * x3**k
+    coeffs = exp.forward(f)
+    np.testing.assert_allclose(exp.backward(coeffs), f, atol=1e-10)
+
+
+def test_tet_projection_spectral_convergence():
+    errs = []
+    for P in (2, 4, 6, 8):
+        exp = TetExpansion(P, nq=P + 3)
+        x1, x2, x3 = exp.reference_coords()
+        f = np.exp(0.5 * (x1 + x2 + x3))
+        err = exp.backward(exp.forward(f)) - f
+        errs.append(np.sqrt(exp.integrate(err**2)))
+    assert errs[1] < errs[0] / 10
+    assert errs[2] < errs[1] / 10
+    assert errs[3] < 1e-9
+
+
+def test_hex_projection_exact_for_tensor_polynomials():
+    exp = HexExpansion(3)
+    x1, x2, x3 = exp.points
+    f = (1 + x1) * (2 - x2) * x3**2 + x1 * x2 * x3
+    coeffs = exp.forward(f)
+    np.testing.assert_allclose(exp.backward(coeffs), f, atol=1e-10)
+
+
+def test_prism_projection_convergence():
+    errs = []
+    for P in (2, 4, 6):
+        exp = PrismExpansion(P, nq=P + 3)
+        A, X2, C = exp.points
+        # map collapsed (A, C) of the triangle back to reference.
+        xi1 = 0.5 * (1 + A) * (1 - C) - 1
+        f = np.sin(xi1) * np.cos(X2) * np.exp(0.3 * C)
+        err = exp.backward(exp.forward(f)) - f
+        errs.append(np.sqrt(exp.integrate(err**2)))
+    assert errs[1] < errs[0] / 8
+    assert errs[2] < errs[1] / 8
+
+
+def test_tet_quadrature_avoids_singular_faces():
+    exp = TetExpansion(3)
+    _, B, C = exp.points
+    assert np.all(B < 1) and np.all(C < 1)
+
+
+def test_hex_pqr_bijection():
+    exp = HexExpansion(2)
+    assert len(set(exp.pqr)) == exp.nmodes

@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.counters import OpCounter
+from repro.spectral.expansions import QuadExpansion
+
+
+@given(st.integers(2, 9), st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_backward_sumfact_matches_tabulated(order, seed):
+    exp = QuadExpansion(order)
+    c = np.random.default_rng(seed).standard_normal(exp.nmodes)
+    np.testing.assert_allclose(
+        exp.backward_sumfact(c), exp.phi.T @ c, rtol=1e-12, atol=1e-12
+    )
+
+
+@given(st.integers(2, 8), st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_gradient_sumfact_matches_tabulated(order, seed):
+    exp = QuadExpansion(order)
+    c = np.random.default_rng(seed).standard_normal(exp.nmodes)
+    d1, d2 = exp.gradient_sumfact(c)
+    np.testing.assert_allclose(d1, exp.dphi1.T @ c, rtol=1e-11, atol=1e-11)
+    np.testing.assert_allclose(d2, exp.dphi2.T @ c, rtol=1e-11, atol=1e-11)
+
+
+def test_tensor_layout_roundtrip():
+    exp = QuadExpansion(5)
+    tl = exp.tensor_layout()
+    c = np.arange(exp.nmodes, dtype=float)
+    np.testing.assert_array_equal(tl.from_tensor(tl.to_tensor(c)), c)
+    # The (p, q) map is a bijection onto the tensor grid.
+    seen = {tuple(pq) for pq in tl.pq}
+    assert len(seen) == exp.nmodes == (exp.order + 1) ** 2
+
+
+def test_sumfact_cheaper_in_flops():
+    order = 8
+    exp = QuadExpansion(order)
+    c = np.ones(exp.nmodes)
+    with OpCounter() as slow:
+        _ = exp.phi.T @ c  # uncounted numpy; count the dgemv equivalent
+        from repro.linalg import blas
+
+        out = np.zeros(exp.rule.nq)
+        blas.dgemv(1.0, exp.phi, c, 0.0, out, trans=True)
+    with OpCounter() as fast:
+        exp.backward_sumfact(c)
+    assert fast.flops < 0.55 * slow.flops
+
+
+def test_space_sumfact_matches_plain():
+    from repro.assembly.space import FunctionSpace
+    from repro.mesh.generators import rectangle_quads
+
+    mesh = rectangle_quads(2, 2, 0.0, 1.0, 0.5, 2.0)
+    plain = FunctionSpace(mesh, 6)
+    fast = FunctionSpace(mesh, 6, sumfact=True)
+    rng = np.random.default_rng(7)
+    u_hat = rng.standard_normal(plain.ndof)
+    np.testing.assert_allclose(
+        fast.backward(u_hat), plain.backward(u_hat), rtol=1e-12, atol=1e-12
+    )
+    fx, fy = fast.gradient(u_hat)
+    px, py = plain.gradient(u_hat)
+    np.testing.assert_allclose(fx, px, rtol=1e-10, atol=1e-10)
+    np.testing.assert_allclose(fy, py, rtol=1e-10, atol=1e-10)
+
+
+def test_ns_solver_identical_with_sumfact():
+    from repro.assembly.space import FunctionSpace
+    from repro.mesh.generators import rectangle_quads
+    from repro.ns.exact import TaylorVortex
+    from repro.ns.nektar2d import NavierStokes2D
+
+    tv = TaylorVortex(nu=0.05)
+    mesh = rectangle_quads(2, 2, 0.0, np.pi, 0.0, np.pi)
+    results = {}
+    for sumfact in (False, True):
+        space = FunctionSpace(mesh, 5, sumfact=sumfact)
+        bcs = {
+            t: (
+                lambda x, y, tt: float(tv.u(x, y, tt)),
+                lambda x, y, tt: float(tv.v(x, y, tt)),
+            )
+            for t in ("left", "right", "top", "bottom")
+        }
+        ns = NavierStokes2D(space, 0.05, 5e-3, bcs)
+        ns.set_initial(
+            lambda x, y, t: tv.u(x, y, 0.0), lambda x, y, t: tv.v(x, y, 0.0)
+        )
+        ns.run(3)
+        results[sumfact] = ns.u_hat
+    np.testing.assert_allclose(results[True], results[False], atol=1e-10)
+
+
+def test_tri_has_no_sumfact():
+    from repro.spectral.expansions import TriExpansion
+
+    assert not hasattr(TriExpansion(3), "backward_sumfact")

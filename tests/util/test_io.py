@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.assembly.space import FunctionSpace
+from repro.io.writers import Checkpoint, vertex_velocity_fields, write_vtk
+from repro.mesh.generators import rectangle_quads, rectangle_tris
+from repro.ns.exact import TaylorVortex
+from repro.ns.nektar2d import NavierStokes2D
+
+
+def test_write_vtk_structure(tmp_path):
+    mesh = rectangle_quads(2, 2)
+    field = np.arange(mesh.nvertices, dtype=float)
+    path = write_vtk(tmp_path / "out.vtk", mesh, {"f": field})
+    text = path.read_text()
+    assert text.startswith("# vtk DataFile Version 3.0")
+    assert f"POINTS {mesh.nvertices} double" in text
+    assert f"CELLS {mesh.nelements}" in text
+    assert "SCALARS f double 1" in text
+    # quad cell type 9
+    assert "\n9\n" in text
+
+
+def test_write_vtk_triangles(tmp_path):
+    mesh = rectangle_tris(1, 1)
+    path = write_vtk(tmp_path / "t.vtk", mesh)
+    assert "\n5\n" in path.read_text()  # VTK_TRIANGLE
+
+
+def test_write_vtk_field_shape_check(tmp_path):
+    mesh = rectangle_quads(1, 1)
+    with pytest.raises(ValueError):
+        write_vtk(tmp_path / "bad.vtk", mesh, {"f": np.ones(3)})
+
+
+def make_solver():
+    tv = TaylorVortex(nu=0.05)
+    mesh = rectangle_quads(2, 2, 0.0, np.pi, 0.0, np.pi)
+    space = FunctionSpace(mesh, 4)
+    bcs = {
+        t: (
+            lambda x, y, tt: float(tv.u(x, y, tt)),
+            lambda x, y, tt: float(tv.v(x, y, tt)),
+        )
+        for t in ("left", "right", "top", "bottom")
+    }
+    ns = NavierStokes2D(space, 0.05, 5e-3, bcs)
+    ns.set_initial(lambda x, y, t: tv.u(x, y, 0), lambda x, y, t: tv.v(x, y, 0))
+    return ns
+
+
+def test_checkpoint_roundtrip(tmp_path):
+    ns = make_solver()
+    ns.run(3)
+    path = tmp_path / "state.npz"
+    Checkpoint.save(path, ns)
+
+    ns2 = make_solver()
+    Checkpoint.load(path, ns2)
+    np.testing.assert_array_equal(ns2.u_hat, ns.u_hat)
+    np.testing.assert_array_equal(ns2.p_hat, ns.p_hat)
+    assert ns2.t == ns.t
+    assert ns2.step_count == 3
+
+
+def test_checkpoint_restart_continues_consistently(tmp_path):
+    # a 5-step run == 3 steps, checkpoint, restore, 2 more steps
+    # (histories restart, so allow the small re-ramp difference).
+    ns_full = make_solver()
+    ns_full.run(5)
+
+    ns = make_solver()
+    ns.run(3)
+    path = Checkpoint.save(tmp_path / "s.npz", ns)
+    ns2 = make_solver()
+    Checkpoint.load(tmp_path / "s.npz", ns2)
+    ns2.run(2)
+    assert ns2.step_count == 5
+    u_full = ns_full.space.backward(ns_full.u_hat)
+    u_rest = ns2.space.backward(ns2.u_hat)
+    np.testing.assert_allclose(u_rest, u_full, atol=5e-4)
+    _ = path
+
+
+def test_checkpoint_shape_mismatch(tmp_path):
+    ns = make_solver()
+    Checkpoint.save(tmp_path / "s.npz", ns)
+    mesh = rectangle_quads(1, 1)
+    space = FunctionSpace(mesh, 3)
+    other = NavierStokes2D(space, 0.1, 1e-2, {}, pressure_dirichlet=("left",))
+    with pytest.raises(ValueError):
+        Checkpoint.load(tmp_path / "s.npz", other)
+
+
+def test_vertex_velocity_fields():
+    ns = make_solver()
+    fields = vertex_velocity_fields(ns.space, ns.u_hat, ns.v_hat)
+    assert set(fields) == {"u", "v"}
+    assert fields["u"].shape == (ns.space.mesh.nvertices,)

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.reporting.tables import ascii_table, format_percentages, format_series
+
+
+def test_ascii_table_basic():
+    out = ascii_table(["a", "bb"], [(1, 2.5), ("x", 3.14159)], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("+")
+    assert "| a |" in lines[2].replace("  ", " ")
+    assert out.count("+") >= 8
+
+
+def test_ascii_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        ascii_table(["a"], [(1, 2)])
+
+
+def test_ascii_table_number_formatting():
+    out = ascii_table(["v"], [(1234567.0,), (0.000123,), (0.0,)])
+    assert "1.23e+06" in out
+    assert "0.000123" in out
+
+
+def test_format_series_structure():
+    s = {"curve": ([1, 2, 3], [10.0, 20.0, 30.0])}
+    out = format_series(s, "x", "y", title="demo")
+    assert out.startswith("# demo")
+    assert "## curve" in out
+    assert out.count("\n") >= 4
+
+
+def test_format_series_max_rows():
+    s = {"c": (list(range(100)), list(range(100)))}
+    out = format_series(s, "x", "y", max_rows=10)
+    data_lines = [
+        line for line in out.splitlines() if not line.startswith(("#", "##"))
+    ]
+    assert len(data_lines) <= 15
+
+
+def test_format_percentages():
+    out = format_percentages(
+        {"case A": {"s1": 60.0, "s2": 40.0}, "case B": {"s1": 25.0, "s2": 75.0}}
+    )
+    assert "60.0%" in out
+    assert "75.0%" in out
+    assert "case A" in out

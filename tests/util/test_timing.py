@@ -1,0 +1,63 @@
+import time
+
+import pytest
+
+from repro.util.timing import StageTimer, cpu_clock, wall_clock
+
+
+def test_clocks_monotonic():
+    c0, w0 = cpu_clock(), wall_clock()
+    x = sum(i * i for i in range(10000))
+    assert x > 0
+    assert cpu_clock() >= c0
+    assert wall_clock() >= w0
+
+
+def test_stage_timer_accumulates():
+    t = StageTimer()
+    with t.stage("a"):
+        time.sleep(0.005)
+    with t.stage("a"):
+        time.sleep(0.005)
+    with t.stage("b"):
+        pass
+    assert t.records["a"].calls == 2
+    assert t.records["a"].wall >= 0.008
+    assert t.records["b"].calls == 1
+
+
+def test_stage_timer_direct_add_and_percentages():
+    t = StageTimer()
+    t.add("x", cpu=3.0)
+    t.add("y", cpu=1.0, wall=2.0)
+    pct_cpu = t.percentages("cpu")
+    assert pct_cpu["x"] == pytest.approx(75.0)
+    assert pct_cpu["y"] == pytest.approx(25.0)
+    pct_wall = t.percentages("wall")
+    assert pct_wall["x"] == pytest.approx(60.0)
+    assert pct_wall["y"] == pytest.approx(40.0)
+
+
+def test_stage_timer_percentages_empty():
+    t = StageTimer()
+    assert t.percentages() == {}
+    t.add("z", cpu=0.0)
+    assert t.percentages() == {"z": 0.0}
+
+
+def test_stage_timer_merge():
+    a, b = StageTimer(), StageTimer()
+    a.add("s", cpu=1.0)
+    b.add("s", cpu=2.0)
+    b.add("t", cpu=4.0)
+    a.merge(b)
+    assert a.records["s"].cpu == pytest.approx(3.0)
+    assert a.records["t"].cpu == pytest.approx(4.0)
+
+
+def test_stage_timer_reset():
+    t = StageTimer()
+    t.add("s", cpu=1.0)
+    t.reset()
+    assert t.records == {}
+    assert t.total() == 0.0

@@ -1,0 +1,31 @@
+import pytest
+
+from repro.util import units
+
+
+def test_mb_per_s_uses_decimal_megabytes():
+    # NetPIPE convention: 1 MB = 1e6 bytes.
+    assert units.mb_per_s(1.0e6, 1.0) == pytest.approx(1.0)
+    assert units.mb_per_s(2.0e6, 0.5) == pytest.approx(4.0)
+
+
+def test_mflop_per_s():
+    assert units.mflop_per_s(5.0e6, 2.0) == pytest.approx(2.5)
+
+
+@pytest.mark.parametrize("fn", [units.mb_per_s, units.mflop_per_s])
+def test_nonpositive_time_rejected(fn):
+    with pytest.raises(ValueError):
+        fn(1.0, 0.0)
+    with pytest.raises(ValueError):
+        fn(1.0, -1.0)
+
+
+def test_usec():
+    assert units.usec(1.5e-6) == pytest.approx(1.5)
+
+
+def test_doubles():
+    assert units.doubles(800) == 100
+    assert units.doubles(801) == 100
+    assert units.doubles(7) == 0
