@@ -1,0 +1,33 @@
+"""Static invariant checks for the reproduction codebase.
+
+The cost tables (Tables 1-3) are priced from two invariants the rest of
+the code enforces only by convention:
+
+* **accounting** — every hot-path kernel in the spectral/assembly/BLAS
+  substrate must charge the ambient :class:`~repro.linalg.counters.OpCounter`;
+* **virtual-time** — rank code running on the simulated cluster must not
+  touch real wall clocks or raw threads: the virtual clocks of
+  :mod:`repro.parallel.simmpi` are the only sanctioned time source;
+* **raw-numpy** — solver hot paths must route linear algebra through the
+  counted :mod:`repro.linalg.blas` kernels, not raw ``np.dot`` / ``@``.
+
+:mod:`repro.analysis.linter` machine-checks all three with a small
+AST-based linter (stdlib only); ``python -m repro.analysis src`` runs it
+from the command line, and the tier-1 suite runs it over the whole tree.
+"""
+
+from .linter import (
+    RULES,
+    Diagnostic,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,62 @@
+"""CLI for the invariant linter: ``python -m repro.analysis [paths...]``.
+
+Exits 0 when every checked file is clean, 1 when any diagnostic is
+emitted, 2 on usage errors.  Default path is ``src`` when run from the
+repository root, falling back to the installed ``repro`` package tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .linter import RULES, lint_paths
+
+
+def _default_paths() -> list[str]:
+    if Path("src/repro").is_dir():
+        return ["src"]
+    return [str(Path(__file__).resolve().parents[1])]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Check repo-specific invariants (accounting, "
+        "virtual-time purity, counted-BLAS usage).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ or the installed package)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, (code, summary) in sorted(RULES.items(), key=lambda kv: kv[1][0]):
+            print(f"{code}  {rule:<14} {summary}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    for p in paths:
+        if not Path(p).exists():
+            print(f"error: no such path: {p}", file=sys.stderr)
+            return 2
+
+    diags = lint_paths(paths)
+    for d in diags:
+        print(d.format())
+    if diags:
+        print(f"{len(diags)} problem(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,532 @@
+"""AST-based invariant linter (stdlib only).
+
+Three repo-specific rules, each scoped to the packages where its
+invariant is load-bearing:
+
+``accounting`` (REPRO001)
+    In ``linalg/``, ``spectral/``, ``assembly/`` and ``fourier/``, any
+    function that evaluates a numpy compute primitive (``np.dot``,
+    ``@``, ``np.einsum``, ``np.linalg.solve`` ...) must also charge the
+    ambient :class:`~repro.linalg.counters.OpCounter` — by calling
+    ``charge()`` or one of the counted :mod:`repro.linalg.blas` kernels
+    — so the work it does shows up in the priced cost tables.
+
+``virtual-time`` (REPRO002)
+    In ``ns/`` and ``parallel/``, and in any *rank function* (first
+    parameter named ``comm`` or annotated ``VirtualComm``) anywhere in
+    the tree, real wall-clock primitives (``time.time``,
+    ``time.perf_counter``, ``datetime.now`` ...) and raw ``threading``
+    primitives are forbidden: virtual-time code must read the rank's
+    virtual clocks.  The sanctioned abstractions
+    (:class:`~repro.util.timing.StageTimer` for real host
+    instrumentation, :mod:`repro.parallel.simmpi` for virtual time) are
+    not flagged — only the raw primitives are.
+
+``raw-numpy`` (REPRO003)
+    In ``ns/`` and ``parallel/`` and in rank functions, raw numpy
+    linear algebra (``np.dot``, ``np.matmul``, ``np.einsum``, the ``@``
+    operator) sidesteps the counted BLAS substrate and is flagged.
+
+Waivers
+-------
+A violation that is intentional is silenced with a waiver comment that
+must carry a reason::
+
+    x = a @ b  # repro: waive[raw-numpy] complex-valued; charged explicitly
+
+The comment may sit on the flagged line, the line above it, or on (or
+above) the enclosing ``def`` line.  A whole file opts out of one rule
+with::
+
+    # repro: waive-file[virtual-time] virtual-time substrate implementation
+
+A waiver with an unknown rule name or an empty reason is itself a
+diagnostic (REPRO000), so waivers stay auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["RULES", "Diagnostic", "lint_source", "lint_file", "lint_paths"]
+
+# rule name -> (code, one-line summary)
+RULES: dict[str, tuple[str, str]] = {
+    "accounting": (
+        "REPRO001",
+        "hot-path kernels must charge the ambient OpCounter",
+    ),
+    "virtual-time": (
+        "REPRO002",
+        "virtual-time rank code must not touch real clocks or raw threads",
+    ),
+    "raw-numpy": (
+        "REPRO003",
+        "hot paths must use the counted repro.linalg.blas kernels",
+    ),
+}
+_WAIVER_CODE = "REPRO000"
+
+ACCOUNTING_PACKAGES = {"linalg", "spectral", "assembly", "fourier"}
+VIRTUAL_TIME_PACKAGES = {"ns", "parallel"}
+RAW_NUMPY_PACKAGES = {"ns", "parallel"}
+
+# numpy compute primitives that represent priced floating-point work.
+_NUMPY_COMPUTE = {"dot", "vdot", "matmul", "einsum", "tensordot"}
+_NUMPY_LINALG = {
+    "solve",
+    "inv",
+    "cholesky",
+    "lstsq",
+    "pinv",
+    "eig",
+    "eigh",
+    "eigvals",
+    "eigvalsh",
+    "svd",
+    "qr",
+    "matrix_power",
+}
+_SCIPY_LINALG = {
+    "solve",
+    "cholesky",
+    "cho_factor",
+    "cho_solve",
+    "cholesky_banded",
+    "cho_solve_banded",
+    "solve_banded",
+    "solveh_banded",
+    "lu_factor",
+    "lu_solve",
+    "eigh_tridiagonal",
+}
+_CLOCK_CALLS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "thread_time",
+    "thread_time_ns",
+    "clock",
+    "sleep",
+}
+_DATETIME_CALLS = {"now", "utcnow", "today"}
+_THREADING_NAMES = {
+    "Thread",
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+    "Timer",
+    "local",
+}
+_BLAS_KERNELS = {
+    "dcopy",
+    "daxpy",
+    "ddot",
+    "dscal",
+    "dnrm2",
+    "dgemv",
+    "dgemm",
+    "dvmul",
+    "dvadd",
+    "dsvtvp",
+}
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro:\s*waive(?P<file>-file)?\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One linter finding, formatted ``path:line:col: CODE [rule] msg``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.rule}] {self.message}"
+
+
+@dataclass
+class _Waivers:
+    file_rules: set[str] = field(default_factory=set)
+    line_rules: dict[int, set[str]] = field(default_factory=dict)
+    problems: list[tuple[int, int, str]] = field(default_factory=list)
+
+    def covers(self, rule: str, line: int, def_line: int | None = None) -> bool:
+        if rule in self.file_rules:
+            return True
+        lines = [line, line - 1]
+        if def_line is not None:
+            lines += [def_line, def_line - 1]
+        return any(rule in self.line_rules.get(ln, ()) for ln in lines)
+
+
+def _parse_waivers(source: str) -> _Waivers:
+    w = _Waivers()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (t.start[0], t.start[1], t.string)
+            for t in tokens
+            if t.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+    for line, col, text in comments:
+        m = _WAIVER_RE.search(text)
+        if m is None:
+            continue
+        rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+        unknown = rules - set(RULES)
+        if unknown or not rules:
+            w.problems.append(
+                (line, col, f"waiver names unknown rule(s): {sorted(unknown) or '(none)'}")
+            )
+            rules &= set(RULES)
+        if not m.group("reason").strip():
+            w.problems.append((line, col, "waiver must carry a reason"))
+            continue
+        if m.group("file"):
+            w.file_rules |= rules
+        else:
+            w.line_rules.setdefault(line, set()).update(rules)
+    return w
+
+
+def _repro_package(path: str) -> str | None:
+    """Sub-package under ``repro`` that a file belongs to, or None."""
+    parts = Path(path).parts
+    for i, part in enumerate(parts):
+        if part == "repro" and i + 1 < len(parts):
+            return parts[i + 1] if parts[i + 1].endswith(".py") is False else ""
+    return None
+
+
+class _ImportTable:
+    """Maps local names to canonical dotted modules/objects."""
+
+    def __init__(self, tree: ast.AST):
+        self.modules: dict[str, str] = {}  # alias -> canonical module
+        self.objects: dict[str, str] = {}  # name -> canonical dotted object
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    self.modules[name] = alias.name if alias.asname else alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                self._import_from(node)
+
+    def _import_from(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        for alias in node.names:
+            name = alias.asname or alias.name
+            if mod in ("time", "threading", "datetime", "numpy"):
+                self.objects[name] = f"{mod}.{alias.name}"
+            elif mod == "numpy.linalg":
+                self.objects[name] = f"numpy.linalg.{alias.name}"
+            elif mod in ("scipy.linalg", "scipy"):
+                self.objects[name] = f"scipy.linalg.{alias.name}"
+            elif alias.name == "blas" and (mod.endswith("linalg") or mod == ""):
+                # from ..linalg import blas / from . import blas
+                self.modules[name] = "repro.linalg.blas"
+            elif mod.endswith("linalg.blas") or mod == "blas":
+                if alias.name in _BLAS_KERNELS:
+                    self.objects[name] = f"repro.linalg.blas.{alias.name}"
+            elif alias.name == "charge" and (
+                mod.endswith("counters") or mod.endswith("linalg")
+            ):
+                self.objects[name] = "repro.linalg.counters.charge"
+            elif alias.name in _BLAS_KERNELS and mod.endswith("linalg"):
+                self.objects[name] = f"repro.linalg.blas.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of an attribute/name chain, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        head = node.id
+        if head in self.modules:
+            return ".".join([self.modules[head], *parts])
+        if head in self.objects:
+            return ".".join([self.objects[head], *parts])
+        return ".".join([head, *parts])
+
+
+@dataclass
+class _Finding:
+    line: int
+    col: int
+    desc: str
+    kind: str  # "compute" | "clock" | "thread" | "rawnp"
+
+
+def _classify_call(dotted: str) -> list[str]:
+    """Trigger kinds of one resolved call name."""
+    parts = dotted.split(".")
+    kinds: list[str] = []
+    if parts[0] == "numpy":
+        rest = parts[1:]
+        if len(rest) == 1 and rest[0] in _NUMPY_COMPUTE:
+            kinds += ["compute", "rawnp"]
+        elif len(rest) == 2 and rest[0] == "linalg" and rest[1] in _NUMPY_LINALG:
+            kinds.append("compute")
+        elif len(rest) >= 1 and rest[0] == "fft":
+            kinds.append("compute")
+    elif parts[0] == "scipy" and len(parts) >= 3 and parts[1] == "linalg":
+        if parts[2] in _SCIPY_LINALG:
+            kinds.append("compute")
+    elif parts[0] == "time" and len(parts) == 2 and parts[1] in _CLOCK_CALLS:
+        kinds.append("clock")
+    elif parts[0] == "datetime":
+        if parts[-1] in _DATETIME_CALLS:
+            kinds.append("clock")
+    elif parts[0] == "threading" and len(parts) == 2 and parts[1] in _THREADING_NAMES:
+        kinds.append("thread")
+    return kinds
+
+
+def _is_charging_call(node: ast.Call, table: _ImportTable) -> bool:
+    func = node.func
+    # Convention: a helper named charge* / _charge* IS a charging wrapper.
+    if isinstance(func, ast.Attribute) and func.attr.lstrip("_").startswith("charge"):
+        return True
+    dotted = table.resolve(func)
+    if dotted is None:
+        return False
+    last = dotted.rsplit(".", 1)[-1]
+    if last.lstrip("_").startswith("charge"):
+        return True
+    if dotted.startswith("repro.linalg.blas."):
+        return True
+    return False
+
+
+@dataclass
+class _FunctionReport:
+    name: str
+    def_line: int
+    rank_ctx: bool
+    charges: bool = False
+    findings: list[_Finding] = field(default_factory=list)
+
+
+def _is_rank_function(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = list(fn.args.posonlyargs) + list(fn.args.args)
+    if args and args[0].arg in ("self", "cls"):
+        args = args[1:]
+    if args and args[0].arg == "comm":
+        return True
+    for a in args:
+        if a.annotation is not None and "VirtualComm" in ast.unparse(a.annotation):
+            return True
+    return False
+
+
+def _own_nodes(fn: ast.AST):
+    """Descendants of ``fn`` that are not inside a nested def."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _numpy_aliases(table: _ImportTable) -> set[str]:
+    return {k for k, v in table.modules.items() if v == "numpy"}
+
+
+def _analyze_function(
+    fn: ast.AST, name: str, def_line: int, rank_ctx: bool, table: _ImportTable
+) -> _FunctionReport:
+    rep = _FunctionReport(name=name, def_line=def_line, rank_ctx=rank_ctx)
+    for node in _own_nodes(fn):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            rep.findings.append(
+                _Finding(node.lineno, node.col_offset, "'@' (matrix multiply)", "compute")
+            )
+            rep.findings.append(
+                _Finding(node.lineno, node.col_offset, "'@' (matrix multiply)", "rawnp")
+            )
+        elif isinstance(node, ast.Call):
+            if _is_charging_call(node, table):
+                rep.charges = True
+                continue
+            dotted = table.resolve(node.func)
+            if dotted is None:
+                continue
+            for kind in _classify_call(dotted):
+                rep.findings.append(
+                    _Finding(node.lineno, node.col_offset, f"{dotted}()", kind)
+                )
+    return rep
+
+
+def _collect_functions(
+    tree: ast.Module, table: _ImportTable
+) -> list[_FunctionReport]:
+    reports: list[_FunctionReport] = []
+
+    def visit(node: ast.AST, rank_ctx: bool, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                ctx = rank_ctx or _is_rank_function(child)
+                qual = f"{prefix}{child.name}"
+                reports.append(
+                    _analyze_function(child, qual, child.lineno, ctx, table)
+                )
+                visit(child, ctx, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, rank_ctx, f"{prefix}{child.name}.")
+
+    visit(tree, False, "")
+    # Module-level statements form a pseudo-function (e.g. a module-level
+    # wall-clock call in a solver module is still a violation).
+    module_body = ast.Module(
+        body=[
+            stmt
+            for stmt in tree.body
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        ],
+        type_ignores=[],
+    )
+    reports.append(_analyze_function(module_body, "<module>", 1, False, table))
+    return reports
+
+
+def lint_source(source: str, path: str) -> list[Diagnostic]:
+    """Lint one file's source text; ``path`` determines the rule scope."""
+    diags: list[Diagnostic] = []
+    waivers = _parse_waivers(source)
+    for line, col, msg in waivers.problems:
+        diags.append(Diagnostic(path, line, col, _WAIVER_CODE, "waiver", msg))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        diags.append(
+            Diagnostic(
+                path, exc.lineno or 1, exc.offset or 0, _WAIVER_CODE, "syntax", str(exc.msg)
+            )
+        )
+        return diags
+    pkg = _repro_package(path)
+    table = _ImportTable(tree)
+    reports = _collect_functions(tree, table)
+
+    in_acct = pkg in ACCOUNTING_PACKAGES
+    in_vtime = pkg in VIRTUAL_TIME_PACKAGES
+    in_rawnp = pkg in RAW_NUMPY_PACKAGES
+
+    for rep in reports:
+        computes = [f for f in rep.findings if f.kind == "compute"]
+        if in_acct and computes and not rep.charges:
+            first = min(computes, key=lambda f: (f.line, f.col))
+            if not waivers.covers("accounting", first.line, rep.def_line):
+                diags.append(
+                    Diagnostic(
+                        path,
+                        first.line,
+                        first.col,
+                        RULES["accounting"][0],
+                        "accounting",
+                        f"function '{rep.name}' computes with {first.desc} but never "
+                        "charges the ambient OpCounter (call charge() or a counted "
+                        "repro.linalg.blas kernel, or add "
+                        "'# repro: waive[accounting] <reason>')",
+                    )
+                )
+        if in_vtime or rep.rank_ctx:
+            for f in rep.findings:
+                if f.kind not in ("clock", "thread"):
+                    continue
+                if waivers.covers("virtual-time", f.line, rep.def_line):
+                    continue
+                what = (
+                    "real wall-clock primitive"
+                    if f.kind == "clock"
+                    else "raw threading primitive"
+                )
+                diags.append(
+                    Diagnostic(
+                        path,
+                        f.line,
+                        f.col,
+                        RULES["virtual-time"][0],
+                        "virtual-time",
+                        f"{what} {f.desc} in virtual-time code "
+                        f"(function '{rep.name}'): use the rank's virtual clocks "
+                        "(comm.wall / comm.cpu_time) or simmpi primitives",
+                    )
+                )
+        if in_rawnp or rep.rank_ctx:
+            for f in rep.findings:
+                if f.kind != "rawnp":
+                    continue
+                if waivers.covers("raw-numpy", f.line, rep.def_line):
+                    continue
+                diags.append(
+                    Diagnostic(
+                        path,
+                        f.line,
+                        f.col,
+                        RULES["raw-numpy"][0],
+                        "raw-numpy",
+                        f"raw numpy linear algebra {f.desc} in hot path "
+                        f"(function '{rep.name}') sidesteps the counted "
+                        "repro.linalg.blas kernels",
+                    )
+                )
+    diags.sort()
+    return diags
+
+
+def lint_file(path: str | Path) -> list[Diagnostic]:
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def _iter_python_files(paths: list[str | Path]):
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if any(
+                    part in ("__pycache__",) or part.endswith(".egg-info")
+                    for part in f.parts
+                ):
+                    continue
+                yield f
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: list[str | Path]) -> list[Diagnostic]:
+    """Lint every ``.py`` file under the given files/directories."""
+    diags: list[Diagnostic] = []
+    for f in _iter_python_files(paths):
+        diags.extend(lint_file(f))
+    diags.sort()
+    return diags

@@ -22,8 +22,6 @@ Run: ``python -m repro.apps.nektar_f_bench [--breakdown]``.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..machines.catalog import MACHINES, MachineSpec
 from ..ns.stages import STAGES
 from ..reporting.tables import ascii_table, format_percentages

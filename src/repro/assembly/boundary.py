@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..linalg import blas
+from ..linalg.counters import charge
 from ..mesh.curved import make_element_map
 from ..spectral.jacobi import gauss_jacobi
 
@@ -59,10 +61,16 @@ class EdgeQuadrature:
         return self.x.size
 
     def integrate(self, fvals: np.ndarray) -> float:
-        return float(np.dot(self.jw, fvals))
+        return blas.ddot(self.jw, np.asarray(fvals, dtype=np.float64))
 
     def load(self, fvals: np.ndarray) -> np.ndarray:
-        """(f, phi_i) over this edge, local (unsigned) coefficients."""
+        """(f, phi_i) over this edge, local (unsigned) coefficients.
+
+        Kept dtype-generic (the Fourier solver feeds complex modes), so
+        the matvec is raw numpy with an explicit charge.
+        """
+        m, n = self.phi.shape
+        charge(2.0 * m * n, 8.0 * (m * n + n + m), "edge-load")
         return self.phi @ (self.jw * fvals)
 
 

@@ -17,10 +17,10 @@ any order.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 from scipy.sparse.csgraph import reverse_cuthill_mckee
 
 from ..linalg.banded import BandedSPDSolver
+from ..linalg.counters import charge
 from ..spectral.basis import bubble
 from ..spectral.jacobi import gauss_jacobi
 
@@ -72,6 +72,8 @@ class AssembledOperator:
         return self.space.ndof
 
     def matvec(self, u: np.ndarray) -> np.ndarray:
+        # Sparse matvec: 2 flops per stored entry, value+index+vector traffic.
+        charge(2.0 * self.a_full.nnz, 12.0 * self.a_full.nnz + 16.0 * self.ndof, "spmv")
         return self.a_full @ u
 
     def solve(
@@ -95,6 +97,7 @@ class AssembledOperator:
             dirichlet_values = np.asarray(dirichlet_values, dtype=np.float64)
             if dirichlet_values.shape != (self.dirichlet.size,):
                 raise ValueError("dirichlet_values length mismatch")
+            charge(2.0 * self.a_uk.nnz, 12.0 * self.a_uk.nnz, "dirichlet-lift")
             b = rhs[self.free] - self.a_uk @ dirichlet_values
         else:
             b = rhs[self.free]
@@ -125,6 +128,7 @@ def project_dirichlet(space, tags, fn):
     if nb > 0:
         bub = np.array([bubble(k, xg) for k in range(nb)])
         mass_1d = (bub * wg) @ bub.T
+        charge(2.0 * nb * nb * xg.size, 8.0 * (2 * nb * xg.size + nb * nb), "edge-mass")
     from .boundary import edge_physical_points
 
     sides = [s for t in tags for s in mesh.boundary_sides(t)]
@@ -144,6 +148,7 @@ def project_dirichlet(space, tags, fn):
         g = np.array([float(fn(x, y)) for x, y in zip(ex, ey)])
         lin = 0.5 * (1 - xg) * ga + 0.5 * (1 + xg) * gb
         rhs = bub @ (wg * (g - lin))
+        charge(2.0 * nb * xg.size + 2.0 * nb**3 / 3.0, 8.0 * nb * (xg.size + nb), "edge-project")
         coeff = np.linalg.solve(mass_1d, rhs)
         eid = dm.elem_edge_id(ei, le)
         for k, dof in enumerate(dm.edge_dofs(eid)):

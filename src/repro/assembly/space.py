@@ -20,7 +20,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..linalg import blas
-from ..mesh.mapping import ElementMap, GeomFactors
+from ..mesh.mapping import GeomFactors
 from ..mesh.mesh2d import Mesh2D
 from .dofmap import DofMap
 from .operators import elemental_load, elemental_mass
@@ -176,7 +176,7 @@ class FunctionSpace:
     def integrate(self, values: np.ndarray) -> float:
         values = np.asarray(values, dtype=np.float64)
         return float(
-            sum(np.dot(self.geom[ei].jw, values[ei]) for ei in range(self.nelem))
+            sum(blas.ddot(self.geom[ei].jw, values[ei]) for ei in range(self.nelem))
         )
 
     def norm_l2(self, values: np.ndarray) -> float:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..linalg.counters import charge
+
 __all__ = [
     "nmodes_for",
     "wavenumbers",
@@ -33,6 +35,12 @@ def wavenumbers(nz: int, lz: float = 2.0 * np.pi) -> np.ndarray:
     return 2.0 * np.pi * np.arange(nmodes_for(nz)) / lz
 
 
+def _charge_fft(n_total: int, nz: int) -> None:
+    """Real-FFT work over a batch of n_total samples, transform length nz
+    (~2.5 n log2 nz real flops, in/out traffic)."""
+    charge(2.5 * n_total * np.log2(max(2, nz)), 16.0 * n_total, "fft-z")
+
+
 def fft_z(values: np.ndarray) -> np.ndarray:
     """Forward transform along the last axis: (..., nz) real physical
     planes -> (..., nz//2) complex modes, normalised so mode 0 is the
@@ -40,6 +48,7 @@ def fft_z(values: np.ndarray) -> np.ndarray:
     values = np.asarray(values, dtype=np.float64)
     nz = values.shape[-1]
     nm = nmodes_for(nz)
+    _charge_fft(values.size, nz)
     return np.fft.rfft(values, axis=-1)[..., :nm] / nz
 
 
@@ -51,6 +60,7 @@ def ifft_z(modes: np.ndarray, nz: int) -> np.ndarray:
         raise ValueError(f"expected {nm} modes for nz={nz}")
     full = np.zeros(modes.shape[:-1] + (nz // 2 + 1,), dtype=np.complex128)
     full[..., :nm] = modes
+    _charge_fft(int(np.prod(modes.shape[:-1], dtype=np.int64)) * nz, nz)
     return np.fft.irfft(full * nz, n=nz, axis=-1)
 
 

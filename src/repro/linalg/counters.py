@@ -30,25 +30,36 @@ class OpCounter:
     calls: int = 0
     by_label: dict[str, tuple[float, float, int]] = field(default_factory=dict)
     _parent: "OpCounter | None" = None
+    _saved: list["OpCounter | None"] = field(default_factory=list)
 
     def charge(self, flops: float, nbytes: float, label: str = "") -> None:
-        self.flops += flops
-        self.bytes += nbytes
-        self.calls += 1
-        if label:
-            f, b, c = self.by_label.get(label, (0.0, 0.0, 0))
-            self.by_label[label] = (f + flops, b + nbytes, c + 1)
-        if self._parent is not None:
-            self._parent.charge(flops, nbytes, label)
+        # Iterative parent walk with a cycle guard: re-entering the same
+        # counter must charge each ancestor exactly once, never recurse.
+        node: OpCounter | None = self
+        seen: set[int] = set()
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            node.flops += flops
+            node.bytes += nbytes
+            node.calls += 1
+            if label:
+                f, b, c = node.by_label.get(label, (0.0, 0.0, 0))
+                node.by_label[label] = (f + flops, b + nbytes, c + 1)
+            node = node._parent
 
     def __enter__(self) -> "OpCounter":
-        self._parent = getattr(_tls, "active", None)
+        prev = getattr(_tls, "active", None)
+        self._saved.append(prev)
+        if prev is not self:  # re-entry must not make a counter its own parent
+            self._parent = prev
         _tls.active = self
         return self
 
     def __exit__(self, *exc) -> None:
-        _tls.active = self._parent
-        self._parent = None
+        prev = self._saved.pop() if self._saved else None
+        _tls.active = prev
+        if not self._saved:
+            self._parent = None
 
 
 def active_counter() -> OpCounter | None:

@@ -32,6 +32,7 @@ from ..assembly.condensation import CondensedOperator
 from ..assembly.global_system import project_dirichlet
 from ..assembly.operators import elemental_laplacian, elemental_mass
 from ..assembly.space import FunctionSpace
+from ..linalg import blas
 from ..solvers.helmholtz import HelmholtzCG
 from ..util.timing import StageTimer
 from .splitting import stiffly_stable
@@ -323,9 +324,14 @@ class ALENavierStokes2D:
                 ei = eq.elem
                 exp = dm.expansion(ei)
                 gf = space.geom[ei]
-                w_loc = self._local_minv[ei] @ (exp.phi @ (gf.jw * w_extrap[ei]))
-                dwdx = eq.dphi_x.T @ w_loc
-                dwdy = eq.dphi_y.T @ w_loc
+                tmp = np.empty(exp.phi.shape[0])
+                blas.dgemv(1.0, exp.phi, gf.jw * w_extrap[ei], 0.0, tmp)
+                w_loc = np.empty_like(tmp)
+                blas.dgemv(1.0, self._local_minv[ei], tmp, 0.0, w_loc)
+                dwdx = np.empty(eq.npts)
+                dwdy = np.empty(eq.npts)
+                blas.dgemv(1.0, eq.dphi_x, w_loc, 0.0, dwdx, trans=True)
+                blas.dgemv(1.0, eq.dphi_y, w_loc, 0.0, dwdy, trans=True)
                 n_curl = eq.nx * dwdy - eq.ny * dwdx
                 ubn = np.array(
                     [

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..assembly.boundary import EdgeQuadrature, build_edge_quadrature
 from ..assembly.space import FunctionSpace
+from ..linalg import blas
 
 __all__ = ["BodyForces", "traction", "body_forces", "ForceRecorder"]
 
@@ -53,11 +54,12 @@ def traction(
     u_loc = dm.gather(ei, u_hat)
     v_loc = dm.gather(ei, v_hat)
     p_loc = dm.gather(ei, p_hat)
-    p = eq.phi.T @ p_loc
-    dudx = eq.dphi_x.T @ u_loc
-    dudy = eq.dphi_y.T @ u_loc
-    dvdx = eq.dphi_x.T @ v_loc
-    dvdy = eq.dphi_y.T @ v_loc
+    p, dudx, dudy, dvdx, dvdy = (np.empty(eq.npts) for _ in range(5))
+    blas.dgemv(1.0, eq.phi, p_loc, 0.0, p, trans=True)
+    blas.dgemv(1.0, eq.dphi_x, u_loc, 0.0, dudx, trans=True)
+    blas.dgemv(1.0, eq.dphi_y, u_loc, 0.0, dudy, trans=True)
+    blas.dgemv(1.0, eq.dphi_x, v_loc, 0.0, dvdx, trans=True)
+    blas.dgemv(1.0, eq.dphi_y, v_loc, 0.0, dvdy, trans=True)
     # Body-outward normal = -(fluid-outward normal of the edge rule).
     nx, ny = -eq.nx, -eq.ny
     tx_p = -p * nx

@@ -29,6 +29,7 @@ from ..assembly.condensation import CondensedOperator
 from ..assembly.global_system import project_dirichlet
 from ..assembly.operators import elemental_laplacian, elemental_mass
 from ..assembly.space import FunctionSpace
+from ..linalg import blas
 from ..linalg.counters import OpCounter, charge
 from ..solvers.helmholtz import HelmholtzDirect
 from ..util.timing import StageTimer
@@ -249,9 +250,14 @@ class NavierStokes2D:
                 exp = dm.expansion(ei)
                 gf = space.geom[ei]
                 # Local modal projection of the extrapolated vorticity.
-                w_loc = self._local_minv[ei] @ (exp.phi @ (gf.jw * w_extrap[ei]))
-                dwdx = eq.dphi_x.T @ w_loc
-                dwdy = eq.dphi_y.T @ w_loc
+                tmp = np.empty(exp.phi.shape[0])
+                blas.dgemv(1.0, exp.phi, gf.jw * w_extrap[ei], 0.0, tmp)
+                w_loc = np.empty_like(tmp)
+                blas.dgemv(1.0, self._local_minv[ei], tmp, 0.0, w_loc)
+                dwdx = np.empty(eq.npts)
+                dwdy = np.empty(eq.npts)
+                blas.dgemv(1.0, eq.dphi_x, w_loc, 0.0, dwdx, trans=True)
+                blas.dgemv(1.0, eq.dphi_y, w_loc, 0.0, dwdy, trans=True)
                 n_curl = eq.nx * dwdy - eq.ny * dwdx
                 ubn = np.array(
                     [

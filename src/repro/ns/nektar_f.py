@@ -38,7 +38,7 @@ from ..assembly.operators import elemental_laplacian, elemental_mass
 from ..assembly.space import FunctionSpace
 from ..fourier.mapping import transpose_to_modes, transpose_to_points
 from ..fourier.transforms import fft_z, ifft_z, mode_blocks, nmodes_for, wavenumbers
-from ..linalg.counters import OpCounter
+from ..linalg.counters import OpCounter, charge
 from ..parallel.simmpi import VirtualComm
 from ..solvers.helmholtz import HelmholtzDirect
 from ..util.timing import StageTimer
@@ -351,11 +351,22 @@ class NekTarF:
             rhs.imag, zero
         )
 
+    # Complex-valued mode arithmetic: the real-only d-BLAS kernels cannot
+    # hold it, so the matvecs stay raw numpy and the complex flop
+    # convention is charged explicitly via _charge_zgemv below.
+    # repro: waive[raw-numpy] complex mode arithmetic, charged via _charge_zgemv
     def _add_pressure_bc(
         self, rhs, mode_i, wx_e, wy_e, wz_e, gamma0, t_new
     ) -> None:
         """Per-mode rotational pressure BC:
         oint phi [-nu (n x curl omega)_z-mode - gamma0 (u_b . n)/dt]."""
+
+        def _charge_zgemv(mat: np.ndarray) -> None:
+            # Real (m, n) matrix times complex vector: 4 flops/element
+            # (2 mul + 2 add), matrix traffic + complex vector in/out.
+            m, n = mat.shape
+            charge(4.0 * m * n, 8.0 * m * n + 16.0 * (m + n), "zgemv")
+
         space, dm = self.space, self.space.dofmap
         m = self.my_modes[mode_i]
         kk = 1j * self.k[mode_i]
@@ -367,9 +378,13 @@ class NekTarF:
                 gf = space.geom[ei]
                 minv = self._local_minv[ei]
                 # Local modal projections of the vorticity components.
+                for _m in (exp.phi, minv, exp.phi, minv, exp.phi, minv):
+                    _charge_zgemv(_m)
                 wz_loc = minv @ (exp.phi @ (gf.jw * wz_e[ei]))
                 wx_loc = minv @ (exp.phi @ (gf.jw * wx_e[ei]))
                 wy_loc = minv @ (exp.phi @ (gf.jw * wy_e[ei]))
+                for _m in (eq.dphi_x, eq.dphi_y, eq.phi, eq.phi):
+                    _charge_zgemv(_m)
                 dwz_dx = eq.dphi_x.T @ wz_loc
                 dwz_dy = eq.dphi_y.T @ wz_loc
                 wx_edge = eq.phi.T @ wx_loc
@@ -387,6 +402,7 @@ class NekTarF:
                     ]
                 )
                 term = -self.nu * n_curl - (gamma0 / self.dt) * ubn
+                _charge_zgemv(eq.phi)
                 local = eq.phi @ (eq.jw * term)
                 signs = dm.elem_signs[ei]
                 np.add.at(rhs, dm.elem_dofs[ei], signs * local)

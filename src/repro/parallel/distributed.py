@@ -20,6 +20,7 @@ import numpy as np
 from ..assembly.global_system import project_dirichlet
 from ..assembly.operators import elemental_helmholtz
 from ..assembly.space import FunctionSpace
+from ..linalg import blas
 from .gs import GatherScatter
 from .simmpi import VirtualComm
 
@@ -122,12 +123,14 @@ class DistributedHelmholtz:
         for e in self.my_elems:
             idx = self._elem_local[e]
             signs = dm.elem_signs[e]
-            y[idx] += signs * (self.elem_mats[e] @ (signs * x[idx]))
+            tmp = np.empty(idx.size)
+            blas.dgemv(1.0, self.elem_mats[e], signs * x[idx], 0.0, tmp)
+            y[idx] += signs * tmp
         y[self.shared_local] = self.gs.exchange(y[self.shared_local])
         return y
 
     def dot(self, x: np.ndarray, y: np.ndarray) -> float:
-        local = float(np.dot(x[self.owned], y[self.owned]))
+        local = blas.ddot(x[self.owned], y[self.owned])
         return float(self.comm.allreduce(local, op="sum"))
 
     def assemble_rhs(self, values: np.ndarray) -> np.ndarray:

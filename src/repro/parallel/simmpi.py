@@ -1,3 +1,4 @@
+# repro: waive-file[virtual-time] simmpi IS the virtual-time substrate; host threads implement the simulated ranks
 """simmpi: a virtual-time MPI on threads.
 
 Rank functions execute *real Python/numpy code on real data* — messages
@@ -21,10 +22,30 @@ data-correct (implemented with real exchanges) but priced with the
 calibrated collective cost models of :class:`NetworkModel`, applied at
 the synchronisation point — this captures contention effects (Ethernet
 Alltoall saturation) that uncoordinated pairwise pricing would miss.
+
+Communication verification
+--------------------------
+With ``verify=True`` (the default) the cluster checks MPI semantics the
+way a debugging MPI layer would:
+
+* **at runtime** — a deadlock (every live rank blocked in a recv or an
+  unfilled collective, none able to make progress) and cross-rank
+  collective-ordering mismatches (rank 0's n-th collective is a
+  ``barrier`` while rank 1's n-th is an ``allreduce``) abort the run
+  immediately;
+* **at finalize** — after all ranks return cleanly, unmatched sends
+  (messages still sitting in a mailbox), incomplete collectives, and
+  cluster-wide byte conservation (total bytes sent == total bytes
+  received) are checked.
+
+Violations raise :class:`CommVerificationError`, which carries the
+structured ``problems`` list and a bounded per-rank ``rank_traces`` of
+the most recent communication events on each rank.
 """
 
 from __future__ import annotations
 
+import math
 import pickle
 import threading
 from collections import deque
@@ -36,21 +57,77 @@ import numpy as np
 from ..machines.cpu import CPUModel
 from ..machines.network import NetworkModel
 
-__all__ = ["VirtualCluster", "VirtualComm", "payload_bytes"]
+__all__ = [
+    "CommVerificationError",
+    "VirtualCluster",
+    "VirtualComm",
+    "payload_bytes",
+]
+
+_TRACE_LEN = 64
+
+
+class CommVerificationError(RuntimeError):
+    """A communication invariant was violated.
+
+    Raised at runtime (deadlock, collective-ordering mismatch) or at
+    cluster finalize (unmatched sends, incomplete collectives, byte
+    conservation).  ``problems`` is the structured list of findings;
+    ``rank_traces`` maps rank -> most recent communication events.
+    """
+
+    def __init__(
+        self,
+        problems: str | list[str],
+        rank_traces: dict[int, list[str]] | None = None,
+    ):
+        if isinstance(problems, str):
+            problems = [problems]
+        self.problems = list(problems)
+        self.rank_traces = {r: list(t) for r, t in (rank_traces or {}).items()}
+        lines = ["communication verification failed:"]
+        lines.extend(f"  - {p}" for p in self.problems)
+        if self.rank_traces:
+            lines.append("per-rank trace (most recent events last):")
+            for r in sorted(self.rank_traces):
+                tail = ", ".join(self.rank_traces[r]) or "(no events)"
+                lines.append(f"  rank {r}: {tail}")
+        super().__init__("\n".join(lines))
+
+
+class _PeerFailure(RuntimeError):
+    """Secondary failure: this rank aborted because another rank died.
+
+    ``VirtualCluster.run`` re-raises the *root* error, not these."""
 
 
 def payload_bytes(obj: Any) -> int:
-    """Wire size of a message payload."""
+    """Wire size of a message payload.
+
+    Numpy arrays (including 0-d) and scalars are priced at their true
+    ``nbytes``; ``bool`` is one byte; python ints/floats are one 8-byte
+    word; sequences and dicts — homogeneous, mixed, or nested — are
+    priced recursively element by element.  Anything else falls back to
+    its pickled size.
+    """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
-    if isinstance(obj, (bytes, bytearray)):
+    if isinstance(obj, np.generic):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)
-    if isinstance(obj, (int, float, np.floating, np.integer)):
+    if isinstance(obj, bool):  # before int: bool subclasses int
+        return 1
+    if isinstance(obj, (int, float)):
         return 8
-    if isinstance(obj, (tuple, list)) and all(
-        isinstance(x, (int, float, np.floating, np.integer)) for x in obj
-    ):
-        return 8 * len(obj)
+    if isinstance(obj, complex):
+        return 16
+    if obj is None:
+        return 0
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_bytes(k) + payload_bytes(v) for k, v in obj.items())
     return len(pickle.dumps(obj))
 
 
@@ -63,6 +140,9 @@ class _RankState:
     messages: int = 0
     result: Any = None
     error: BaseException | None = None
+    done: bool = False
+    coll_kinds: list[str] = field(default_factory=list)
+    trace: deque = field(default_factory=lambda: deque(maxlen=_TRACE_LEN))
 
 
 @dataclass
@@ -90,6 +170,7 @@ class VirtualCluster:
         cpu: CPUModel | None = None,
         procs_per_node: int = 1,
         intranode: NetworkModel | None = None,
+        verify: bool = True,
     ):
         if nprocs < 1:
             raise ValueError("need at least one rank")
@@ -98,10 +179,13 @@ class VirtualCluster:
         self.cpu = cpu
         self.procs_per_node = max(1, procs_per_node)
         self.intranode = intranode
+        self.verify = verify
         self._lock = threading.Condition()
         self._mailbox: dict[tuple[int, int, int], deque] = {}
         self._collectives: dict[tuple[str, int], _Collective] = {}
         self._coll_seq: dict[str, int] = {}
+        self._waiting: dict[int, tuple[str, Callable[[], bool]]] = {}
+        self._deadlock: CommVerificationError | None = None
         self.ranks = [_RankState() for _ in range(nprocs)]
 
     # -- topology ---------------------------------------------------------------
@@ -114,10 +198,117 @@ class VirtualCluster:
             return self.intranode
         return self.network
 
+    # -- verification -----------------------------------------------------------
+
+    def _rank_traces(self, ranks=None) -> dict[int, list[str]]:
+        ranks = range(self.nprocs) if ranks is None else ranks
+        return {r: list(self.ranks[r].trace) for r in ranks}
+
+    def _check_deadlock(self) -> bool:
+        """With the lock held: true iff every live rank is blocked on a
+        condition that cannot become true.  Records the deadlock error."""
+        if self._deadlock is not None:
+            return True
+        if any(st.error is not None for st in self.ranks):
+            # A real error is propagating; peer-failure handling owns
+            # the wakeup, and the root cause must win over "deadlock".
+            return False
+        active = [
+            r
+            for r, st in enumerate(self.ranks)
+            if not st.done and st.error is None
+        ]
+        if not active:
+            return False
+        blocked = []
+        for r in active:
+            entry = self._waiting.get(r)
+            if entry is None or entry[1]():
+                return False  # computing, or its wait is satisfiable
+            blocked.append((r, entry[0]))
+        problems = ["deadlock: every live rank is blocked"]
+        problems.extend(f"rank {r} blocked in {desc}" for r, desc in blocked)
+        traces = self._rank_traces([r for r, _ in blocked])
+        for r, desc in blocked:
+            traces[r] = traces.get(r, []) + [f"BLOCKED: {desc}"]
+        self._deadlock = CommVerificationError(problems, traces)
+        self._lock.notify_all()
+        return True
+
+    def _blocking_wait(self, rank: int, desc: str, predicate) -> None:
+        """With the lock held: wait until ``predicate()``; abort on peer
+        failure or deadlock."""
+        self._waiting[rank] = (desc, predicate)
+        try:
+            while not predicate():
+                if self._deadlock is not None:
+                    raise self._deadlock
+                peer = next(
+                    (st.error for st in self.ranks if st.error is not None), None
+                )
+                if peer is not None:
+                    raise _PeerFailure(
+                        f"rank {rank}: peer rank failed during {desc}"
+                    ) from peer
+                if self._check_deadlock():
+                    raise self._deadlock
+                self._lock.wait(timeout=0.1)
+        finally:
+            self._waiting.pop(rank, None)
+
+    def verify_communication(self) -> None:
+        """Finalize-time checks; raises :class:`CommVerificationError`.
+
+        Called automatically by :meth:`run` (when ``verify=True``) after
+        all ranks return cleanly; callable directly for manual runs.
+        """
+        problems: list[str] = []
+        for (src, dst, tag), q in sorted(self._mailbox.items()):
+            for _obj, _ready, nbytes in q:
+                problems.append(
+                    f"unmatched send: rank {src} -> rank {dst} tag={tag} "
+                    f"({nbytes} bytes) was never received"
+                )
+        for (kind, seq), coll in sorted(self._collectives.items()):
+            if coll.arrived < coll.expected:
+                missing = sorted(set(range(self.nprocs)) - set(coll.data))
+                problems.append(
+                    f"incomplete collective '{kind}' #{seq}: only "
+                    f"{coll.arrived}/{coll.expected} ranks arrived "
+                    f"(missing ranks {missing})"
+                )
+        ref = self.ranks[0].coll_kinds
+        for r, st in enumerate(self.ranks[1:], start=1):
+            if st.coll_kinds != ref:
+                problems.append(
+                    f"collective ordering mismatch: rank 0 ran {ref} "
+                    f"but rank {r} ran {st.coll_kinds}"
+                )
+                break
+        sent = sum(st.sent_bytes for st in self.ranks)
+        recvd = sum(st.recv_bytes for st in self.ranks)
+        if sent != recvd:
+            per_rank = ", ".join(
+                f"rank {r}: {st.sent_bytes:.0f} out / {st.recv_bytes:.0f} in"
+                for r, st in enumerate(self.ranks)
+            )
+            problems.append(
+                f"byte conservation violated: {sent:.0f} bytes sent vs "
+                f"{recvd:.0f} bytes received cluster-wide ({per_rank})"
+            )
+        if problems:
+            raise CommVerificationError(problems, self._rank_traces())
+
     # -- execution ----------------------------------------------------------------
 
     def run(self, fn: Callable[["VirtualComm"], Any], *args, **kwargs) -> list[Any]:
         """Run ``fn(comm, *args)`` on every rank; returns per-rank results."""
+        with self._lock:
+            for st in self.ranks:
+                st.done = False
+                st.error = None
+            self._waiting.clear()
+            self._deadlock = None
         threads = []
         for r in range(self.nprocs):
             comm = VirtualComm(self, r)
@@ -128,7 +319,12 @@ class VirtualCluster:
                     st.result = fn(comm, *args, **kwargs)
                 except BaseException as exc:  # propagate to caller
                     st.error = exc
+                finally:
                     with self._lock:
+                        st.done = True
+                        self._waiting.pop(comm.rank, None)
+                        # A finished rank can strand peers waiting on it.
+                        self._check_deadlock()
                         self._lock.notify_all()
 
             t = threading.Thread(target=work, daemon=True)
@@ -139,7 +335,11 @@ class VirtualCluster:
             t.join()
         errors = [st.error for st in self.ranks if st.error is not None]
         if errors:
-            raise errors[0]
+            # Prefer the root cause over secondary peer-failure aborts.
+            roots = [e for e in errors if not isinstance(e, _PeerFailure)]
+            raise roots[0] if roots else errors[0]
+        if self.verify:
+            self.verify_communication()
         return [st.result for st in self.ranks]
 
     @property
@@ -207,6 +407,7 @@ class VirtualComm:
         self._st.messages += 1
         cl = self.cluster
         with cl._lock:
+            self._st.trace.append(f"send -> {dest} tag={tag} ({nbytes}B)")
             key = (self.rank, dest, tag)
             cl._mailbox.setdefault(key, deque()).append((obj, ready, nbytes))
             cl._lock.notify_all()
@@ -217,13 +418,15 @@ class VirtualComm:
         cl = self.cluster
         key = (source, self.rank, tag)
         with cl._lock:
-            while not cl._mailbox.get(key):
-                if any(st.error for st in cl.ranks):
-                    raise RuntimeError("peer rank failed") from next(
-                        st.error for st in cl.ranks if st.error
-                    )
-                cl._lock.wait(timeout=0.5)
+            cl._blocking_wait(
+                self.rank,
+                f"recv(source={source}, tag={tag})",
+                lambda: bool(cl._mailbox.get(key)),
+            )
             obj, ready, nbytes = cl._mailbox[key].popleft()
+            if not cl._mailbox[key]:
+                del cl._mailbox[key]
+            self._st.trace.append(f"recv <- {source} tag={tag} ({nbytes}B)")
         net = cl.pair_network(source, self.rank)
         overhead = net.cpu_time_for_bytes(nbytes)
         waited = max(0.0, ready - self._st.wall)
@@ -249,6 +452,27 @@ class VirtualComm:
         """
         cl = self.cluster
         with cl._lock:
+            if cl.verify:
+                # My n-th collective must be the same kind as every other
+                # rank's n-th collective (MPI collective-ordering rule).
+                idx = len(self._st.coll_kinds)
+                for r, other in enumerate(cl.ranks):
+                    if (
+                        r != self.rank
+                        and len(other.coll_kinds) > idx
+                        and other.coll_kinds[idx] != kind
+                    ):
+                        traces = cl._rank_traces([self.rank, r])
+                        raise CommVerificationError(
+                            [
+                                f"collective ordering mismatch: rank "
+                                f"{self.rank} enters '{kind}' as its "
+                                f"collective #{idx} but rank {r} ran "
+                                f"'{other.coll_kinds[idx]}' there"
+                            ],
+                            traces,
+                        )
+            self._st.coll_kinds.append(kind)
             seq = cl._coll_seq.get(kind, 0)
             key = (kind, seq)
             coll = cl._collectives.get(key)
@@ -259,6 +483,7 @@ class VirtualComm:
                     cl._coll_seq[kind] = seq
                     key = (kind, seq)
                 coll = cl._collectives.setdefault(key, _Collective(expected=self.size))
+            self._st.trace.append(f"{kind} #{seq}")
             coll.data[self.rank] = contribution
             coll.arrived += 1
             coll.t_start = max(coll.t_start, self._st.wall)
@@ -268,10 +493,11 @@ class VirtualComm:
                 cl._coll_seq[kind] = seq + 1
                 cl._lock.notify_all()
             else:
-                while coll.arrived < coll.expected:
-                    if any(st.error for st in cl.ranks):
-                        raise RuntimeError("peer rank failed")
-                    cl._lock.wait(timeout=0.5)
+                cl._blocking_wait(
+                    self.rank,
+                    f"collective '{kind}' #{seq}",
+                    lambda: coll.arrived >= coll.expected,
+                )
             coll.released += 1
             out, t_done = coll.out, coll.t_done
             if coll.released == coll.expected:
@@ -344,7 +570,6 @@ class VirtualComm:
 
     def bcast(self, value: Any, root: int = 0) -> Any:
         net = self.cluster.network
-        import math
 
         def pricing(t0, data):
             nbytes = payload_bytes(data[root])
@@ -366,13 +591,11 @@ class VirtualComm:
         return out if self.rank == root else None
 
     def allgather(self, value: Any) -> list[Any]:
-        net = self.cluster.network
         nbytes = payload_bytes(value)
 
         def pricing(t0, data):
             return t0 + self.cluster.network.allreduce_time(self.size, nbytes)
 
-        _ = net
         return self._collective(
             "allgather", value, pricing, lambda data: [data[r] for r in sorted(data)]
         )

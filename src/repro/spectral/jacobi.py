@@ -79,6 +79,7 @@ def gauss_jacobi(n: int, alpha: float = 0.0, beta: float = 0.0):
     return np.asarray(x, dtype=np.float64), np.asarray(w, dtype=np.float64)
 
 
+# repro: waive[accounting] one-time quadrature-rule setup, not solver work
 def _weights_by_moment_matching(
     x: np.ndarray, alpha: float, beta: float
 ) -> np.ndarray:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..linalg import blas
 from .jacobi import gauss_jacobi
 
 __all__ = ["Rule1D", "TensorRule2D", "quad_rule", "tri_rule"]
@@ -36,7 +37,7 @@ class Rule1D:
         return self.points.size
 
     def integrate(self, fvals: np.ndarray) -> float:
-        return float(np.dot(self.weights, fvals))
+        return blas.ddot(self.weights, np.asarray(fvals, dtype=np.float64))
 
 
 @dataclass(frozen=True)
@@ -72,7 +73,7 @@ class TensorRule2D:
         return A, B
 
     def integrate(self, fvals: np.ndarray) -> float:
-        return float(np.dot(self.weights, np.ravel(fvals)))
+        return blas.ddot(self.weights, np.ravel(np.asarray(fvals, dtype=np.float64)))
 
 
 def quad_rule(nq: int) -> TensorRule2D:

@@ -1,0 +1,325 @@
+"""Unit tests for the repro.analysis invariant linter.
+
+Each rule gets a violating fixture, a passing fixture, and a waived
+fixture, per the acceptance criteria.  Paths are synthetic — the linter
+scopes rules by the ``repro/<package>/`` component of the path string,
+so no files need to exist on disk.
+"""
+
+import textwrap
+
+from repro.analysis import RULES, lint_source
+
+
+def _lint(src, path):
+    return lint_source(textwrap.dedent(src), path)
+
+
+def _codes(diags):
+    return [d.code for d in diags]
+
+
+# ---------------------------------------------------------------- accounting
+
+
+VIOLATING_KERNEL = """
+    import numpy as np
+
+    def apply_mass(phi, w, u):
+        return phi @ (w * u)
+"""
+
+CHARGED_KERNEL = """
+    import numpy as np
+    from ..linalg.counters import charge
+
+    def apply_mass(phi, w, u):
+        charge(2.0 * phi.size, 8.0 * phi.size, "mass")
+        return phi @ (w * u)
+"""
+
+BLAS_KERNEL = """
+    import numpy as np
+    from ..linalg import blas
+
+    def apply_mass(phi, w, u):
+        out = np.empty(phi.shape[0])
+        return blas.dgemv(1.0, phi, w * u, 0.0, out)
+"""
+
+WAIVED_KERNEL = """
+    import numpy as np
+
+    # repro: waive[accounting] one-time setup, not a hot path
+    def tabulate(a, b):
+        return np.einsum("ij,jk->ik", a, b)
+"""
+
+
+def test_accounting_violation_flagged_with_location():
+    diags = _lint(VIOLATING_KERNEL, "src/repro/spectral/fake.py")
+    assert _codes(diags) == ["REPRO001"]
+    d = diags[0]
+    assert d.rule == "accounting"
+    assert d.line == 5  # the `phi @ (...)` line
+    assert "apply_mass" in d.message
+    assert d.format().startswith("src/repro/spectral/fake.py:5:")
+
+
+def test_accounting_charge_call_passes():
+    assert _lint(CHARGED_KERNEL, "src/repro/spectral/fake.py") == []
+
+
+def test_accounting_blas_kernel_counts_as_charging():
+    assert _lint(BLAS_KERNEL, "src/repro/spectral/fake.py") == []
+
+
+def test_accounting_waived():
+    assert _lint(WAIVED_KERNEL, "src/repro/spectral/fake.py") == []
+
+
+def test_accounting_scope_is_hot_packages_only():
+    # The same uncharged kernel in util/ or io/ is not flagged.
+    assert _lint(VIOLATING_KERNEL, "src/repro/util/fake.py") == []
+    assert _lint(VIOLATING_KERNEL, "src/repro/io/fake.py") == []
+
+
+def test_accounting_matches_np_linalg_and_scipy():
+    src = """
+        import numpy as np
+        import scipy.linalg as sla
+
+        def solve_dense(a, b):
+            return np.linalg.solve(a, b)
+
+        def solve_chol(a, b):
+            return sla.cho_solve(a, b)
+    """
+    diags = _lint(src, "src/repro/linalg/fake.py")
+    assert _codes(diags) == ["REPRO001", "REPRO001"]
+
+
+def test_accounting_ignores_exception_classes():
+    # np.linalg.LinAlgError in an except clause is not compute.
+    src = """
+        import numpy as np
+
+        def guard(a):
+            try:
+                return a.sum()
+            except np.linalg.LinAlgError:
+                return 0.0
+    """
+    assert _lint(src, "src/repro/linalg/fake.py") == []
+
+
+# -------------------------------------------------------------- virtual-time
+
+
+CLOCK_IN_RANK_FN = """
+    import time
+
+    def worker(comm, n):
+        t0 = time.time()
+        return t0
+"""
+
+CLOCK_IN_SOLVER = """
+    import time
+
+    def step(state):
+        return time.perf_counter()
+"""
+
+VIRTUAL_CLOCK_OK = """
+    def worker(comm, n):
+        comm.compute(1.0e-3)
+        return comm.wall
+"""
+
+CLOCK_WAIVED = """
+    import time
+
+    def step(state):
+        return time.perf_counter()  # repro: waive[virtual-time] host-side harness timing
+"""
+
+
+def test_virtual_time_rank_function_flagged_anywhere():
+    # Rank functions (first arg `comm`) are in scope even outside ns/parallel.
+    diags = _lint(CLOCK_IN_RANK_FN, "src/repro/apps/fake.py")
+    assert _codes(diags) == ["REPRO002"]
+    assert diags[0].line == 5
+    assert "time.time" in diags[0].message
+
+
+def test_virtual_time_solver_package_in_scope():
+    diags = _lint(CLOCK_IN_SOLVER, "src/repro/ns/fake.py")
+    assert _codes(diags) == ["REPRO002"]
+
+
+def test_virtual_time_clean_rank_fn_passes():
+    assert _lint(VIRTUAL_CLOCK_OK, "src/repro/apps/fake.py") == []
+
+
+def test_virtual_time_waived():
+    assert _lint(CLOCK_WAIVED, "src/repro/ns/fake.py") == []
+
+
+def test_virtual_time_threading_primitive_flagged():
+    src = """
+        import threading
+
+        def step(state):
+            lock = threading.Lock()
+            return lock
+    """
+    diags = _lint(src, "src/repro/parallel/fake.py")
+    assert _codes(diags) == ["REPRO002"]
+    assert "threading.Lock" in diags[0].message
+
+
+def test_virtual_time_file_waiver():
+    src = """
+        # repro: waive-file[virtual-time] this module is the substrate
+        import threading
+
+        def step(state):
+            return threading.Lock()
+    """
+    assert _lint(src, "src/repro/parallel/fake.py") == []
+
+
+def test_virtual_time_out_of_scope_module_ok():
+    # benchkernels host-measurement code may use real clocks.
+    assert _lint(CLOCK_IN_SOLVER, "src/repro/benchkernels/fake.py") == []
+
+
+def test_virtual_time_datetime_and_module_level():
+    src = """
+        from datetime import datetime
+
+        STAMP = datetime.now()
+    """
+    diags = _lint(src, "src/repro/ns/fake.py")
+    assert _codes(diags) == ["REPRO002"]
+
+
+# ----------------------------------------------------------------- raw-numpy
+
+
+RAW_MATMUL_HOT = """
+    import numpy as np
+
+    def apply(a, x):
+        return a @ x
+"""
+
+BLAS_HOT = """
+    import numpy as np
+    from ..linalg import blas
+
+    def apply(a, x):
+        y = np.empty(a.shape[0])
+        return blas.dgemv(1.0, a, x, 0.0, y)
+"""
+
+RAW_MATMUL_WAIVED = """
+    import numpy as np
+
+    def apply(a, x):
+        return a @ x  # repro: waive[raw-numpy] complex-valued, charged explicitly
+"""
+
+
+def test_raw_numpy_flagged_in_hot_package():
+    diags = _lint(RAW_MATMUL_HOT, "src/repro/ns/fake.py")
+    assert _codes(diags) == ["REPRO003"]
+    assert diags[0].rule == "raw-numpy"
+
+
+def test_raw_numpy_blas_passes():
+    assert _lint(BLAS_HOT, "src/repro/ns/fake.py") == []
+
+
+def test_raw_numpy_waived():
+    assert _lint(RAW_MATMUL_WAIVED, "src/repro/ns/fake.py") == []
+
+
+def test_raw_numpy_rank_context_in_scope_anywhere():
+    diags = _lint(RAW_MATMUL_HOT.replace("def apply(a, x)", "def apply(comm, x)"),
+                  "src/repro/apps/fake.py")
+    assert _codes(diags) == ["REPRO003"]
+
+
+def test_raw_numpy_not_flagged_in_linalg_substrate():
+    # linalg/ is the counted substrate itself: accounting applies (and the
+    # charge() call satisfies it), raw-numpy does not.
+    src = """
+        import numpy as np
+        from .counters import charge
+
+        def dgemv_like(a, x):
+            charge(2.0 * a.size, 8.0 * a.size, "k")
+            return a @ x
+    """
+    assert _lint(src, "src/repro/linalg/fake.py") == []
+
+
+# ------------------------------------------------------------------- waivers
+
+
+def test_waiver_unknown_rule_is_flagged():
+    src = """
+        import numpy as np
+
+        def f(a, x):
+            return a @ x  # repro: waive[no-such-rule] whatever
+    """
+    diags = _lint(src, "src/repro/ns/fake.py")
+    codes = _codes(diags)
+    assert "REPRO000" in codes  # the bad waiver itself
+    assert "REPRO003" in codes  # and it does not silence the finding
+
+
+def test_waiver_missing_reason_is_flagged():
+    src = """
+        import numpy as np
+
+        def f(a, x):
+            return a @ x  # repro: waive[raw-numpy]
+    """
+    diags = _lint(src, "src/repro/ns/fake.py")
+    assert "REPRO000" in _codes(diags)
+
+
+def test_rule_registry():
+    assert set(RULES) == {"accounting", "virtual-time", "raw-numpy"}
+    codes = [code for code, _ in RULES.values()]
+    assert len(set(codes)) == 3
+
+
+def test_syntax_error_reported_not_raised():
+    diags = lint_source("def broken(:\n", "src/repro/ns/fake.py")
+    assert len(diags) == 1
+    assert diags[0].code == "REPRO000"
+
+
+def test_nested_function_analyzed_separately():
+    # The outer function charges; the nested closure does not and is
+    # flagged on its own.
+    src = """
+        import numpy as np
+        from .counters import charge
+
+        def outer(a, x):
+            charge(1.0, 8.0, "outer")
+
+            def inner(b):
+                return np.dot(b, b)
+
+            return inner(a @ x)
+    """
+    diags = _lint(src, "src/repro/linalg/fake.py")
+    assert _codes(diags) == ["REPRO001"]
+    assert "inner" in diags[0].message

@@ -1,7 +1,6 @@
 """Property tests: condensed vs full solves on randomised problems."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

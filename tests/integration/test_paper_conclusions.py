@@ -6,7 +6,6 @@ drivers, so the headline narrative cannot silently drift as the code
 evolves.
 """
 
-import pytest
 
 from repro.apps.ale_bench import step_times as ale_times
 from repro.apps.nektar_f_bench import step_times as f_times

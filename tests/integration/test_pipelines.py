@@ -1,7 +1,6 @@
 """End-to-end integration tests tying multiple subsystems together."""
 
 import numpy as np
-import pytest
 
 from repro.assembly.space import FunctionSpace
 from repro.machines.catalog import CPUS, NETWORKS

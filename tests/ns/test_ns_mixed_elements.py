@@ -2,7 +2,6 @@
 tests run on quads; the paper's meshes are hybrid)."""
 
 import numpy as np
-import pytest
 
 from repro.assembly.space import FunctionSpace
 from repro.mesh.generators import rectangle_tris

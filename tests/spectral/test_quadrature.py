@@ -38,8 +38,6 @@ def test_quad_rule_monomial_exactness(p, q):
 
 def tri_monomial_exact(p, q):
     """int over reference triangle of xi1^p xi2^q, by 1-D reduction."""
-    from math import comb
-
     # int_{-1}^{1} xi2^q [int_{-1}^{-xi2} xi1^p dxi1] dxi2
     #   = int xi2^q ((-xi2)^{p+1} - (-1)^{p+1})/(p+1) dxi2
     total = 0.0
