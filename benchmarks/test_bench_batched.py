@@ -1,0 +1,82 @@
+"""Tier-2 benchmark: batched vs per-element elemental execution.
+
+Times the hot FunctionSpace transforms in both execution modes on a
+mid-size bluff-body discretisation (pytest-benchmark), and runs the
+``repro.apps.batched_bench`` smoke harness end to end, asserting the
+invariant the PR rests on: batched and per-element execution charge
+byte-for-byte identical OpCounter totals, and batching is faster on
+the per-timestep transforms.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import batched_bench
+from repro.assembly.space import FunctionSpace
+from repro.mesh.generators import bluff_body_mesh
+
+ORDER = 8
+
+
+@pytest.fixture(scope="module")
+def spaces():
+    mesh = bluff_body_mesh(m=4, nr=2)
+    batched = FunctionSpace(mesh, ORDER, batched=True)
+    per_elem = FunctionSpace(mesh, ORDER, batched=False)
+    u = np.random.default_rng(0).standard_normal(batched.ndof)
+    values = batched.backward(u)
+    return batched, per_elem, u, values
+
+
+def test_backward_batched(benchmark, spaces):
+    batched, per_elem, u, _ = spaces
+    result = benchmark(batched.backward, u)
+    np.testing.assert_allclose(result, per_elem.backward(u), atol=1e-12)
+
+
+def test_backward_per_element(benchmark, spaces):
+    _, per_elem, u, _ = spaces
+    benchmark(per_elem.backward, u)
+
+
+def test_gradient_batched(benchmark, spaces):
+    batched, _, u, _ = spaces
+    benchmark(batched.gradient, u)
+
+
+def test_gradient_per_element(benchmark, spaces):
+    _, per_elem, u, _ = spaces
+    benchmark(per_elem.gradient, u)
+
+
+def test_load_vector_batched(benchmark, spaces):
+    batched, _, _, values = spaces
+    benchmark(batched.load_vector, values)
+
+
+def test_load_vector_per_element(benchmark, spaces):
+    _, per_elem, _, values = spaces
+    benchmark(per_elem.load_vector, values)
+
+
+def test_bench_harness_smoke(tmp_path):
+    """The CI smoke run: the harness must complete, verify identical
+    charges, show a transform win, and write a well-formed report."""
+    out = tmp_path / "BENCH_batched.json"
+    results = batched_bench.main(["--smoke", "--out", str(out), "--repeats", "1"])
+    assert results["charges_identical"]
+    assert results["transform_speedup"] > 1.0
+    on_disk = json.loads(out.read_text())
+    assert on_disk["config"]["smoke"] is True
+    assert set(on_disk["ops"]) == {
+        "backward",
+        "gradient",
+        "load_vector",
+        "grad_load_vector",
+        "helmholtz_setup",
+        "condensation_setup",
+    }
+    for entry in on_disk["ops"].values():
+        assert entry["batched_s"] > 0.0 and entry["per_element_s"] > 0.0

@@ -132,14 +132,20 @@ _THREADING_NAMES = {
     "Timer",
     "local",
 }
+# Includes the batched (stacked) kernels: they charge identical flops and
+# bytes to the per-element calls they replace, so they are counted
+# substrate for the accounting and raw-numpy rules alike.
 _BLAS_KERNELS = {
     "dcopy",
     "daxpy",
     "ddot",
+    "ddot_batched",
     "dscal",
     "dnrm2",
     "dgemv",
+    "dgemv_batched",
     "dgemm",
+    "dgemm_batched",
     "dvmul",
     "dvadd",
     "dsvtvp",

@@ -1,0 +1,146 @@
+"""Perf-regression harness: batched vs per-element elemental execution.
+
+Times the hot FunctionSpace operations (backward transform, physical
+gradient, load vectors, Helmholtz operator setup) in both execution
+modes on the paper-size bluff-body discretisation — the order-8 mesh of
+Section 4.1 (our generator lands at 1216 elements; the paper quotes
+902) — and verifies that both modes charge byte-for-byte identical
+OpCounter flop/byte totals, i.e. that batching is a pure wall-clock
+optimisation with no accounting drift.
+
+Writes ``BENCH_batched.json`` with per-operation timings and speedups.
+Run as a script::
+
+    python -m repro.apps.batched_bench [--smoke] [--out BENCH_batched.json]
+
+``--smoke`` uses the reduced mesh/order so CI can exercise the harness
+in seconds; the acceptance gate (total speedup >= 3x) applies to the
+full paper-size run only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from ..assembly.condensation import CondensedOperator
+from ..assembly.space import FunctionSpace
+from ..linalg.counters import OpCounter
+from ..mesh.generators import bluff_body_mesh
+
+__all__ = ["run_bench", "main"]
+
+# Section 4.1 discretisation (paper: 902 elements, order 8).
+PAPER_MESH = {"m": 8, "nr": 4, "refine": 2}
+PAPER_ORDER = 8
+# Reduced configuration for CI smoke runs.
+SMOKE_MESH = {"m": 3, "nr": 1}
+SMOKE_ORDER = 5
+
+
+def _timed(fn, repeats: int):
+    """Best-of-``repeats`` wall time plus the OpCounter totals of one run."""
+    with OpCounter() as c:
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, c.flops, c.bytes
+
+
+def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
+    """Benchmark both execution modes; returns the results dict."""
+    mesh = bluff_body_mesh(**(SMOKE_MESH if smoke else PAPER_MESH))
+    order = SMOKE_ORDER if smoke else PAPER_ORDER
+    spaces = {
+        "batched": FunctionSpace(mesh, order, batched=True),
+        "per_element": FunctionSpace(mesh, order, batched=False),
+    }
+    rng = np.random.default_rng(2026)
+    u_hat = rng.standard_normal(spaces["batched"].ndof)
+    values = spaces["batched"].backward(u_hat)
+
+    def ops_for(space):
+        return {
+            "backward": lambda: space.backward(u_hat),
+            "gradient": lambda: space.gradient(u_hat),
+            "load_vector": lambda: space.load_vector(values),
+            "grad_load_vector": lambda: space.grad_load_vector(values, values),
+            "helmholtz_setup": lambda: space.elemental_matrices("helmholtz", 1.0),
+            "condensation_setup": lambda: CondensedOperator(
+                space, space.elemental_matrices("helmholtz", 1.0)
+            ),
+        }
+
+    results: dict = {
+        "config": {
+            "elements": mesh.nelements,
+            "order": order,
+            "ndof": spaces["batched"].ndof,
+            "smoke": smoke,
+            "paper_elements": 902,
+        },
+        "ops": {},
+    }
+    # The acceptance gate covers the per-timestep transform operations;
+    # operator/condensation setup is a one-time cost reported alongside.
+    transform_ops = ("backward", "gradient", "load_vector", "grad_load_vector")
+    totals = {"batched": 0.0, "per_element": 0.0}
+    tr_totals = {"batched": 0.0, "per_element": 0.0}
+    for name in ops_for(spaces["batched"]):
+        entry: dict = {}
+        charges = {}
+        for mode, space in spaces.items():
+            secs, flops, nbytes = _timed(ops_for(space)[name], repeats)
+            entry[f"{mode}_s"] = secs
+            charges[mode] = (flops, nbytes)
+            totals[mode] += secs
+            if name in transform_ops:
+                tr_totals[mode] += secs
+        if charges["batched"] != charges["per_element"]:
+            raise AssertionError(
+                f"{name}: OpCounter totals differ between modes: "
+                f"{charges['batched']} != {charges['per_element']}"
+            )
+        entry["flops"] = charges["batched"][0]
+        entry["bytes"] = charges["batched"][1]
+        entry["speedup"] = entry["per_element_s"] / entry["batched_s"]
+        results["ops"][name] = entry
+    results["total_speedup"] = totals["per_element"] / totals["batched"]
+    results["transform_speedup"] = tr_totals["per_element"] / tr_totals["batched"]
+    results["charges_identical"] = True
+    return results
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced size for CI smoke runs"
+    )
+    parser.add_argument("--out", default="BENCH_batched.json", help="output path")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    results = run_bench(smoke=args.smoke, repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, entry in results["ops"].items():
+        print(
+            f"{name:20s} batched {entry['batched_s'] * 1e3:9.2f} ms   "
+            f"per-element {entry['per_element_s'] * 1e3:9.2f} ms   "
+            f"speedup {entry['speedup']:6.2f}x"
+        )
+    print(
+        f"transform speedup: {results['transform_speedup']:.2f}x   "
+        f"total: {results['total_speedup']:.2f}x -> {args.out}"
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

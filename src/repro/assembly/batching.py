@@ -1,0 +1,105 @@
+"""Contiguous same-shape element batches: the stacked-operand layer.
+
+The paper's central observation is that the DNS codes spend their time
+in BLAS; our per-element hot loops issue one *tiny* counted dgemv/dgemm
+per element from Python, so interpreter overhead — not kernel
+throughput — dominates wall-clock.  This module groups elements by
+(shape, order, quadrature) into :class:`ElementBatch` objects holding
+3-D operand stacks (stacked dof maps, signs, quadrature weights and
+metric factors), so the transforms, load vectors and operator setup in
+:class:`~repro.assembly.space.FunctionSpace` can run as a handful of
+stacked level-3 calls per field instead of one level-2 call per
+element.
+
+With uniform polynomial order the grouping key collapses to the element
+kind ("tri"/"quad"), but the key is kept general so variable-order
+spaces batch correctly when they arrive.  Batches preserve element
+order within each group, and gather/scatter reproduce the per-element
+:class:`~repro.assembly.dofmap.DofMap` semantics exactly (signed
+gather, accumulating scatter with ``np.add.at``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ElementBatch", "build_batches"]
+
+
+class ElementBatch:
+    """One group of same-shape elements with stacked operands.
+
+    Attributes
+    ----------
+    kind:
+        Element kind, "tri" or "quad".
+    exp:
+        The shared reference expansion of every element in the batch.
+    elems:
+        (ng,) element indices, in mesh element order.
+    dofs, signs:
+        (ng, nmodes) stacked global dof numbers and C0 edge signs.
+    jw:
+        (ng, nq) stacked physical quadrature weights.
+    dxi:
+        (ng, 2, 2, nq) stacked inverse-Jacobian factors
+        (``dxi[e, i, j]`` is d(xi_i)/d(x_j) on element ``elems[e]``).
+    """
+
+    def __init__(self, kind, exp, elems, dofmap, geom):
+        self.kind = kind
+        self.exp = exp
+        self.elems = np.asarray(elems, dtype=np.int64)
+        self.dofs = np.stack([dofmap.elem_dofs[e] for e in elems])
+        self.signs = np.stack([dofmap.elem_signs[e] for e in elems])
+        self.jw = np.stack([geom[e].jw for e in elems])
+        self.dxi = np.stack([geom[e].dxi_dx for e in elems])
+
+    @property
+    def ng(self) -> int:
+        """Number of elements in the batch."""
+        return self.elems.size
+
+    def gather(self, uglobal: np.ndarray) -> np.ndarray:
+        """(..., ndof) global coefficients -> (..., ng, nmodes) signed
+        element-local coefficients, all elements at once."""
+        uglobal = np.asarray(uglobal, dtype=np.float64)
+        return uglobal[..., self.dofs] * self.signs
+
+    def scatter_add(self, ulocal: np.ndarray, uglobal: np.ndarray) -> None:
+        """Accumulate (..., ng, nmodes) signed local values into the
+        (..., ndof) global vector(s)."""
+        lead = ulocal.shape[:-2]
+        if lead:
+            for idx in np.ndindex(*lead):
+                np.add.at(uglobal[idx], self.dofs, self.signs * ulocal[idx])
+        else:
+            np.add.at(uglobal, self.dofs, self.signs * ulocal)
+
+
+def build_batches(space) -> list[ElementBatch]:
+    """Group a space's elements by (shape, order, quadrature).
+
+    Batches come out in first-appearance order and keep mesh element
+    order within each group, so per-element results reassembled from
+    batches line up with the sequential loops they replace.
+    """
+    groups: dict[tuple, list[int]] = {}
+    order: list[tuple] = []
+    for ei, elem in enumerate(space.mesh.elements):
+        exp = space.dofmap.expansion(ei)
+        key = (elem.kind, exp.order, exp.nq1d)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(ei)
+    return [
+        ElementBatch(
+            key[0],
+            space.dofmap.expansion(groups[key][0]),
+            groups[key],
+            space.dofmap,
+            space.geom,
+        )
+        for key in order
+    ]

@@ -50,42 +50,15 @@ class CondensedOperator:
         if self.dirichlet.size and self.dirichlet.max() >= self.nb_glob:
             raise ValueError("Dirichlet dofs must be boundary (vertex/edge) dofs")
 
-        self._per_elem = []
+        self.batched = bool(getattr(space, "batched", False))
+        self._groups: list[dict] = []
+        if self.batched:
+            schur = self._setup_batched(elem_mats)
+        else:
+            schur = self._setup_per_element(elem_mats)
         rows, cols, vals = [], [], []
-        for e, a in enumerate(elem_mats):
-            exp = dm.expansion(e)
-            nb = len(exp.boundary_modes)
-            if exp.boundary_modes != list(range(nb)):
-                raise ValueError("expansion must order boundary modes first")
-            a = np.asarray(a, dtype=np.float64)
-            abb = a[:nb, :nb]
-            abi = a[:nb, nb:]
-            aii = a[nb:, nb:]
-            ni = aii.shape[0]
-            if ni:
-                chol = sla.cho_factor(aii, lower=True)
-                aii_inv_aib = sla.cho_solve(chol, abi.T)  # (ni, nb)
-                s_e = abb - abi @ aii_inv_aib
-                charge(2.0 * ni * ni * nb + ni**3 / 3.0, 8.0 * (ni + nb) ** 2, "sc-setup")
-            else:
-                chol = None
-                aii_inv_aib = np.zeros((0, nb))
-                s_e = abb
-            bdofs = dm.elem_dofs[e][:nb]
-            bsigns = dm.elem_signs[e][:nb]
-            idofs = dm.elem_dofs[e][nb:]
-            self._per_elem.append(
-                {
-                    "abi": abi,
-                    "chol": chol,
-                    "aii_inv_aib": aii_inv_aib,
-                    "bdofs": bdofs,
-                    "bsigns": bsigns,
-                    "idofs": idofs,
-                    "nb": nb,
-                    "ni": ni,
-                }
-            )
+        for pe, s_e in zip(self._per_elem, schur):
+            nb, bdofs, bsigns = pe["nb"], pe["bdofs"], pe["bsigns"]
             ss = (bsigns[:, None] * s_e) * bsigns[None, :]
             rows.append(np.repeat(bdofs, nb))
             cols.append(np.tile(bdofs, nb))
@@ -116,6 +89,138 @@ class CondensedOperator:
         self.solver = BandedSPDSolver.from_banded(ab)
         self.bandwidth = kd
 
+    # -- pre-factorisation ----------------------------------------------------
+
+    def _setup_per_element(self, elem_mats) -> list[np.ndarray]:
+        """Reference path: one scipy Cholesky per element."""
+        dm = self.space.dofmap
+        self._per_elem = []
+        schur = []
+        for e, a in enumerate(elem_mats):
+            exp = dm.expansion(e)
+            nb = len(exp.boundary_modes)
+            if exp.boundary_modes != list(range(nb)):
+                raise ValueError("expansion must order boundary modes first")
+            a = np.asarray(a, dtype=np.float64)
+            abb = a[:nb, :nb]
+            abi = a[:nb, nb:]
+            aii = a[nb:, nb:]
+            ni = aii.shape[0]
+            if ni:
+                chol = sla.cho_factor(aii, lower=True)
+                aii_inv_aib = sla.cho_solve(chol, abi.T)  # (ni, nb)
+                s_e = abb - abi @ aii_inv_aib
+                charge(2.0 * ni * ni * nb + ni**3 / 3.0, 8.0 * (ni + nb) ** 2, "sc-setup")
+            else:
+                chol = None
+                aii_inv_aib = np.zeros((0, nb))
+                s_e = abb
+            self._per_elem.append(
+                {
+                    "abi": abi,
+                    "chol": chol,
+                    "aii_inv_aib": aii_inv_aib,
+                    "bdofs": dm.elem_dofs[e][:nb],
+                    "bsigns": dm.elem_signs[e][:nb],
+                    "idofs": dm.elem_dofs[e][nb:],
+                    "nb": nb,
+                    "ni": ni,
+                }
+            )
+            schur.append(s_e)
+        return schur
+
+    def _setup_batched(self, elem_mats) -> list[np.ndarray]:
+        """Batched path: group same-shape elements, factor the interior
+        blocks with one stacked Cholesky per group, and eliminate them
+        with stacked triangular solves.
+
+        Charges per element, in element order, exactly what the
+        per-element path charges (the sc-setup value is not an integer,
+        so a single nb-times charge would round differently).
+        """
+        dm = self.space.dofmap
+        nelem = len(elem_mats)
+        by_exp: dict[int, list[int]] = {}
+        exps: dict[int, object] = {}
+        for e in range(nelem):
+            exp = dm.expansion(e)
+            by_exp.setdefault(id(exp), []).append(e)
+            exps[id(exp)] = exp
+        self._per_elem = [None] * nelem
+        schur: list[np.ndarray | None] = [None] * nelem
+        setup_charges: list[tuple[float, float] | None] = [None] * nelem
+        for key, elems in by_exp.items():
+            exp = exps[key]
+            nb = len(exp.boundary_modes)
+            if exp.boundary_modes != list(range(nb)):
+                raise ValueError("expansion must order boundary modes first")
+            a = np.stack([np.asarray(elem_mats[e], dtype=np.float64) for e in elems])
+            abb = a[:, :nb, :nb]
+            abi = a[:, :nb, nb:]
+            aii = a[:, nb:, nb:]
+            ni = aii.shape[-1]
+            g = len(elems)
+            bdofs = np.stack([dm.elem_dofs[e][:nb] for e in elems])
+            bsigns = np.stack([dm.elem_signs[e][:nb] for e in elems])
+            idofs = np.stack([dm.elem_dofs[e][nb:] for e in elems])
+            if ni:
+                low = np.linalg.cholesky(aii)  # stacked dpotrf, lower
+                # Aii X = Aib by stacked forward/backward substitution.
+                aib = np.swapaxes(abi, -1, -2).copy()
+                y = np.empty_like(aib)
+                for i in range(ni):
+                    y[:, i, :] = (
+                        aib[:, i, :]
+                        - np.einsum("gk,gkm->gm", low[:, i, :i], y[:, :i, :])
+                    ) / low[:, i, i][:, None]
+                x = np.empty_like(aib)
+                for i in range(ni - 1, -1, -1):
+                    x[:, i, :] = (
+                        y[:, i, :]
+                        - np.einsum("gk,gkm->gm", low[:, i + 1 :, i], x[:, i + 1 :, :])
+                    ) / low[:, i, i][:, None]
+                aii_inv_aib = x
+                s = abb - np.matmul(abi, aii_inv_aib)
+            else:
+                low = None
+                aii_inv_aib = np.zeros((g, 0, nb))
+                s = abb
+            self._groups.append(
+                {
+                    "low": low,
+                    "abi": abi,
+                    "aii_inv_aib": aii_inv_aib,
+                    "bdofs": bdofs,
+                    "bsigns": bsigns,
+                    "idofs": idofs,
+                    "nb": nb,
+                    "ni": ni,
+                    "ng": g,
+                }
+            )
+            for j, e in enumerate(elems):
+                self._per_elem[e] = {
+                    "abi": abi[j],
+                    "chol": (low[j], True) if ni else None,
+                    "aii_inv_aib": aii_inv_aib[j],
+                    "bdofs": bdofs[j],
+                    "bsigns": bsigns[j],
+                    "idofs": idofs[j],
+                    "nb": nb,
+                    "ni": ni,
+                }
+                schur[e] = s[j]
+                if ni:
+                    setup_charges[e] = (
+                        2.0 * ni * ni * nb + ni**3 / 3.0,
+                        8.0 * (ni + nb) ** 2,
+                    )
+        for e in range(nelem):
+            if setup_charges[e] is not None:
+                charge(setup_charges[e][0], setup_charges[e][1], "sc-setup")
+        return schur
+
     @property
     def ndof(self) -> int:
         return self.space.ndof
@@ -129,18 +234,21 @@ class CondensedOperator:
             raise ValueError("rhs must cover all global dofs")
         # Condense: gb = rb - sum_e Q_e^T Abi Aii^{-1} fi.
         gb = rhs[: self.nb_glob].copy()
-        fi_store = []
-        for pe in self._per_elem:
-            if pe["ni"] == 0:
-                fi_store.append(None)
-                continue
-            fi = rhs[pe["idofs"]]
-            fi_store.append(fi)
-            tmp = sla.cho_solve(pe["chol"], fi)
-            corr = np.zeros(pe["nb"])
-            blas.dgemv(1.0, pe["abi"], tmp, 0.0, corr)
-            charge(2.0 * pe["ni"] ** 2, 8.0 * pe["ni"] ** 2, "sc-chol")
-            np.subtract.at(gb, pe["bdofs"], pe["bsigns"] * corr)
+        fi_store: list = []
+        if self.batched:
+            self._condense_batched(rhs, gb, fi_store)
+        else:
+            for pe in self._per_elem:
+                if pe["ni"] == 0:
+                    fi_store.append(None)
+                    continue
+                fi = rhs[pe["idofs"]]
+                fi_store.append(fi)
+                tmp = sla.cho_solve(pe["chol"], fi)
+                corr = np.zeros(pe["nb"])
+                blas.dgemv(1.0, pe["abi"], tmp, 0.0, corr)
+                charge(2.0 * pe["ni"] ** 2, 8.0 * pe["ni"] ** 2, "sc-chol")
+                np.subtract.at(gb, pe["bdofs"], pe["bsigns"] * corr)
         # Boundary solve.
         if self.dirichlet.size:
             if dirichlet_values is None:
@@ -157,6 +265,9 @@ class CondensedOperator:
         if self.dirichlet.size:
             u[self.dirichlet] = dirichlet_values
         # Back-substitute interiors: ui = Aii^{-1} (fi - Aib ub).
+        if self.batched:
+            self._backsub_batched(u, fi_store)
+            return u
         for pe, fi in zip(self._per_elem, fi_store):
             if pe["ni"] == 0:
                 continue
@@ -167,3 +278,47 @@ class CondensedOperator:
             blas.dgemv(-1.0, pe["aii_inv_aib"], ub, 1.0, ui)
             u[pe["idofs"]] = ui
         return u
+
+    def _cho_solve_group(self, grp: dict, b: np.ndarray) -> np.ndarray:
+        """Stacked Aii^{-1} b for one group (forward + backward sweeps of
+        the stacked lower Cholesky factor), charged as the per-element
+        path charges its scipy cho_solve calls."""
+        low, ni = grp["low"], grp["ni"]
+        y = np.empty_like(b)
+        for i in range(ni):
+            y[:, i] = (
+                b[:, i] - np.einsum("gk,gk->g", low[:, i, :i], y[:, :i])
+            ) / low[:, i, i]
+        out = np.empty_like(b)
+        for i in range(ni - 1, -1, -1):
+            out[:, i] = (
+                y[:, i] - np.einsum("gk,gk->g", low[:, i + 1 :, i], out[:, i + 1 :])
+            ) / low[:, i, i]
+        charge(grp["ng"] * 2.0 * ni * ni, grp["ng"] * 8.0 * ni * ni, "sc-chol")
+        return out
+
+    def _condense_batched(
+        self, rhs: np.ndarray, gb: np.ndarray, fi_store: list
+    ) -> None:
+        """Grouped interior elimination of the condense step."""
+        for grp in self._groups:
+            if grp["ni"] == 0:
+                fi_store.append(None)
+                continue
+            fi = rhs[grp["idofs"]]  # (ng, ni)
+            fi_store.append(fi)
+            tmp = self._cho_solve_group(grp, fi)
+            corr = np.zeros((grp["ng"], grp["nb"]))
+            blas.dgemv_batched(1.0, grp["abi"], tmp, 0.0, corr)
+            np.subtract.at(gb, grp["bdofs"], grp["bsigns"] * corr)
+
+    def _backsub_batched(self, u: np.ndarray, fi_store: list) -> None:
+        """Grouped interior back-substitution (interior dofs are unique
+        to their element, so plain assignment suffices)."""
+        for grp, fi in zip(self._groups, fi_store):
+            if grp["ni"] == 0:
+                continue
+            ub = grp["bsigns"] * u[grp["bdofs"]]
+            ui = self._cho_solve_group(grp, fi)
+            blas.dgemv_batched(-1.0, grp["aii_inv_aib"], ub, 1.0, ui)
+            u[grp["idofs"]] = ui

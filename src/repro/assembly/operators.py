@@ -21,6 +21,9 @@ __all__ = [
     "elemental_laplacian",
     "elemental_helmholtz",
     "elemental_load",
+    "elemental_mass_batched",
+    "elemental_laplacian_batched",
+    "elemental_helmholtz_batched",
 ]
 
 
@@ -61,3 +64,47 @@ def elemental_load(exp: Expansion2D, gf: GeomFactors, fvals: np.ndarray) -> np.n
     out = np.zeros(exp.nmodes)
     blas.dgemv(1.0, exp.phi, gf.jw * fvals, 0.0, out)
     return out
+
+
+# --- stacked (batched) operator setup ----------------------------------------
+#
+# Same quadrature formulas over whole element groups: the per-element
+# dgemm calls become one dgemm_batched per group, which charges exactly
+# the per-element flop/byte totals (see repro.linalg.blas).  ``jw`` is
+# the (ng, nq) stacked weights and ``dxi`` the (ng, 2, 2, nq) stacked
+# inverse-Jacobian factors of an :class:`~repro.assembly.batching.ElementBatch`.
+
+
+def _weighted_outer_batched(
+    a: np.ndarray, w: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """out[e] = op(a[e] * w[e]) @ b[e].T for shared or stacked a/b."""
+    out = np.zeros(w.shape[:-1] + (a.shape[-2], b.shape[-2]))
+    blas.dgemm_batched(1.0, a * w[..., None, :], b, 0.0, out, transb=True)
+    return out
+
+
+def elemental_mass_batched(exp: Expansion2D, jw: np.ndarray) -> np.ndarray:
+    """(ng, nmodes, nmodes) stacked mass matrices of one element batch."""
+    return _weighted_outer_batched(exp.phi, jw, exp.phi)
+
+
+def elemental_laplacian_batched(
+    exp: Expansion2D, jw: np.ndarray, dxi: np.ndarray
+) -> np.ndarray:
+    """(ng, nmodes, nmodes) stacked stiffness matrices (Figure 10)."""
+    dx = exp.dphi1 * dxi[:, None, 0, 0, :] + exp.dphi2 * dxi[:, None, 1, 0, :]
+    dy = exp.dphi1 * dxi[:, None, 0, 1, :] + exp.dphi2 * dxi[:, None, 1, 1, :]
+    return _weighted_outer_batched(dx, jw, dx) + _weighted_outer_batched(dy, jw, dy)
+
+
+def elemental_helmholtz_batched(
+    exp: Expansion2D, jw: np.ndarray, dxi: np.ndarray, lam: float
+) -> np.ndarray:
+    """(ng, nmodes, nmodes) stacked H = L + lam M matrices."""
+    if lam < 0.0:
+        raise ValueError("Helmholtz constant must be >= 0")
+    h = elemental_laplacian_batched(exp, jw, dxi)
+    if lam != 0.0:
+        h += lam * elemental_mass_batched(exp, jw)
+    return h

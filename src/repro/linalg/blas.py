@@ -25,10 +25,13 @@ __all__ = [
     "dcopy",
     "daxpy",
     "ddot",
+    "ddot_batched",
     "dscal",
     "dnrm2",
     "dgemv",
+    "dgemv_batched",
     "dgemm",
+    "dgemm_batched",
     "dvmul",
     "dvadd",
     "dsvtvp",
@@ -173,6 +176,128 @@ def dsvtvp(alpha: float, x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndar
     z += y
     charge(2.0 * x.size, 24.0 * x.size, "dsvtvp")
     return z
+
+
+# --- batched (stacked) kernels ----------------------------------------------
+#
+# One call performs nb independent small-operand operations laid out
+# contiguously in memory — the classic "group same-shape elements and make
+# one level-3 call" blocking lever.  Accounting is *identical by
+# construction* to nb separate calls of the per-element kernel: each call
+# charges nb times the per-item flop/byte formula under the per-element
+# kernel's label, so OpCounter flop/byte totals (overall and per label) are
+# bit-for-bit the same on both execution paths.  Only the call *count*
+# differs (1 per batch instead of nb), which is exactly the interpreter
+# overhead the batching removes.
+
+
+def _op2d(a: np.ndarray, trans: bool) -> np.ndarray:
+    """op(A) for a 2-D (shared) or stacked (..., m, n) operand."""
+    if a.ndim < 2:
+        raise ValueError("batched kernel: matrix operand must be >= 2-D")
+    return np.swapaxes(a, -1, -2) if trans else a
+
+
+def dgemv_batched(
+    alpha: float,
+    a: np.ndarray,
+    x: np.ndarray,
+    beta: float,
+    y: np.ndarray,
+    trans: bool = False,
+) -> np.ndarray:
+    """Stacked dgemv: y[i] = alpha * op(A[i]) x[i] + beta * y[i], in place.
+
+    ``a`` is either a single shared (m, n) matrix or a (..., m, n) stack
+    broadcastable against the batch dims of ``x``/``y``; ``x`` is
+    (..., n) and ``y`` is (..., m) with identical leading batch dims.
+    Charges exactly nb per-element ``dgemv`` calls' flops/bytes.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if y.dtype != np.float64:
+        raise ValueError("dgemv_batched: y must be float64")
+    op = _op2d(a, trans)
+    m, n = op.shape[-2:]
+    if x.shape[-1] != n or y.shape[-1] != m or x.shape[:-1] != y.shape[:-1]:
+        raise ValueError("dgemv_batched: dimension mismatch")
+    if op.ndim > 2 and op.shape[:-2] != x.shape[:-1]:
+        raise ValueError("dgemv_batched: batch-shape mismatch")
+    nb = int(np.prod(x.shape[:-1], dtype=np.int64))
+    if op.ndim == 2:
+        # Shared matrix: the whole batch is one tall gemm, X @ op(A)^T.
+        res = np.matmul(x, np.swapaxes(op, -1, -2))
+    else:
+        res = np.matmul(op, x[..., None])[..., 0]
+    if beta == 0.0:
+        y[...] = alpha * res if alpha != 1.0 else res
+    else:
+        y *= beta
+        y += alpha * res
+    charge(nb * 2.0 * m * n, nb * 8.0 * (m * n + n + 2 * m), "dgemv")
+    return y
+
+
+def dgemm_batched(
+    alpha: float,
+    a: np.ndarray,
+    b: np.ndarray,
+    beta: float,
+    c: np.ndarray,
+    transa: bool = False,
+    transb: bool = False,
+) -> np.ndarray:
+    """Stacked dgemm: C[i] = alpha * op(A[i]) op(B[i]) + beta * C[i].
+
+    ``a``/``b`` may each be a shared 2-D matrix or a (..., m, k) /
+    (..., k, n) stack; ``c`` is the full (..., m, n) stack.  Charges
+    exactly nb per-element ``dgemm`` calls' flops/bytes.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if c.dtype != np.float64:
+        raise ValueError("dgemm_batched: C must be float64")
+    opa = _op2d(a, transa)
+    opb = _op2d(b, transb)
+    if c.ndim < 2:
+        raise ValueError("dgemm_batched: C must be >= 2-D")
+    m, k = opa.shape[-2:]
+    k2, n = opb.shape[-2:]
+    if k != k2 or c.shape[-2:] != (m, n):
+        raise ValueError("dgemm_batched: dimension mismatch")
+    lead = c.shape[:-2]
+    for stack in (opa, opb):
+        if stack.ndim > 2 and stack.shape[:-2] != lead:
+            raise ValueError("dgemm_batched: batch-shape mismatch")
+    nb = int(np.prod(lead, dtype=np.int64))
+    # np.matmul's stacked path degrades on transposed views; a contiguous
+    # copy of a small chunk is cheaper than the strided inner loops.
+    if opa.ndim > 2 and not opa.flags.c_contiguous:
+        opa = np.ascontiguousarray(opa)
+    if opb.ndim > 2 and not opb.flags.c_contiguous:
+        opb = np.ascontiguousarray(opb)
+    if beta == 0.0:
+        np.matmul(opa, opb, out=c)
+        if alpha != 1.0:
+            c *= alpha
+    else:
+        c *= beta
+        c += alpha * np.matmul(opa, opb)
+    charge(nb * 2.0 * m * n * k, nb * 8.0 * (m * k + k * n + 2 * m * n), "dgemm")
+    return c
+
+
+def ddot_batched(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Row-wise inner products: out[...] = x[...] . y[...] over the last
+    axis.  Charges exactly nb per-element ``ddot`` calls' flops/bytes."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim < 1:
+        raise ValueError("ddot_batched: shape mismatch")
+    nb = int(np.prod(x.shape[:-1], dtype=np.int64))
+    out = np.einsum("...n,...n->...", x, y)
+    charge(nb * 2.0 * x.shape[-1], nb * 16.0 * x.shape[-1], "ddot")
+    return out
 
 
 # --- analytic op-count helpers (used by cost-model drivers) -----------------

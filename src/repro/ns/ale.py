@@ -30,7 +30,7 @@ import numpy as np
 from ..assembly.boundary import build_edge_quadrature
 from ..assembly.condensation import CondensedOperator
 from ..assembly.global_system import project_dirichlet
-from ..assembly.operators import elemental_laplacian, elemental_mass
+from ..assembly.operators import elemental_mass
 from ..assembly.space import FunctionSpace
 from ..linalg import blas
 from ..solvers.helmholtz import HelmholtzCG
@@ -109,10 +109,7 @@ class ALENavierStokes2D:
             self._p_pin = None
         else:
             # Pin one dof: assemble the Laplacian once per geometry.
-            mats = [
-                elemental_laplacian(self.space.dofmap.expansion(e), self.space.geom[e])
-                for e in range(self.space.nelem)
-            ]
+            mats = self.space.elemental_matrices("laplacian")
             self._p_pin = int(self.space.dofmap.boundary_dofs()[0])
             self.p_op = CondensedOperator(self.space, mats, [self._p_pin])
         if self.motion == "solve":

@@ -27,7 +27,7 @@ import numpy as np
 from ..assembly.boundary import build_edge_quadrature
 from ..assembly.condensation import CondensedOperator
 from ..assembly.global_system import project_dirichlet
-from ..assembly.operators import elemental_laplacian, elemental_mass
+from ..assembly.operators import elemental_mass
 from ..assembly.space import FunctionSpace
 from ..linalg import blas
 from ..linalg.counters import OpCounter, charge
@@ -89,10 +89,7 @@ class NavierStokes2D:
             self.p_solver = HelmholtzDirect(space, 0.0, tuple(pressure_dirichlet))
             self._p_pin = None
         else:
-            mats = [
-                elemental_laplacian(space.dofmap.expansion(e), space.geom[e])
-                for e in range(space.nelem)
-            ]
+            mats = space.elemental_matrices("laplacian")
             pin = int(space.dofmap.boundary_dofs()[0])
             self._p_pin = pin
             self.p_op = CondensedOperator(space, mats, [pin])

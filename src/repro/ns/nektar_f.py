@@ -34,7 +34,7 @@ import numpy as np
 from ..assembly.boundary import build_edge_quadrature
 from ..assembly.condensation import CondensedOperator
 from ..assembly.global_system import project_dirichlet
-from ..assembly.operators import elemental_laplacian, elemental_mass
+from ..assembly.operators import elemental_mass
 from ..assembly.space import FunctionSpace
 from ..fourier.mapping import transpose_to_modes, transpose_to_points
 from ..fourier.transforms import fft_z, ifft_z, mode_blocks, nmodes_for, wavenumbers
@@ -98,10 +98,7 @@ class NekTarF:
             elif lam > 0.0:
                 self.p_solvers.append(HelmholtzDirect(space, lam))
             else:
-                mats = [
-                    elemental_laplacian(space.dofmap.expansion(e), space.geom[e])
-                    for e in range(space.nelem)
-                ]
+                mats = space.elemental_matrices("laplacian")
                 self._p_pin = int(space.dofmap.boundary_dofs()[0])
                 self.p_solvers.append(
                     CondensedOperator(space, mats, [self._p_pin])
@@ -147,39 +144,29 @@ class NekTarF:
     def nlocal(self) -> int:
         return len(self.my_modes)
 
+    # The complex-field helpers stack real and imaginary parts (and all
+    # local Fourier modes) into one leading batch axis, so each helper
+    # is a single sweep through the space's batched transforms instead
+    # of a Python loop over modes and parts.
+
     def _backward_c(self, field_hat: np.ndarray) -> np.ndarray:
-        """(nloc, ndof) complex coefficients -> (nloc, nelem, nq) values."""
-        out = np.empty(
-            (self.nlocal, self.space.nelem, self.space.nq), dtype=np.complex128
-        )
-        for i in range(self.nlocal):
-            out[i] = self.space.backward(field_hat[i].real) + 1j * self.space.backward(
-                field_hat[i].imag
-            )
-        return out
+        """(..., ndof) complex coefficients -> (..., nelem, nq) values."""
+        vals = self.space.backward(np.stack([field_hat.real, field_hat.imag]))
+        return vals[0] + 1j * vals[1]
 
     def _gradient_c(self, field_hat: np.ndarray):
-        gx = np.empty(
-            (self.nlocal, self.space.nelem, self.space.nq), dtype=np.complex128
-        )
-        gy = np.empty_like(gx)
-        for i in range(self.nlocal):
-            rx, ry = self.space.gradient(field_hat[i].real)
-            ix, iy = self.space.gradient(field_hat[i].imag)
-            gx[i] = rx + 1j * ix
-            gy[i] = ry + 1j * iy
-        return gx, gy
+        gx, gy = self.space.gradient(np.stack([field_hat.real, field_hat.imag]))
+        return gx[0] + 1j * gx[1], gy[0] + 1j * gy[1]
 
     def _load_c(self, vals: np.ndarray) -> np.ndarray:
-        return self.space.load_vector(vals.real) + 1j * self.space.load_vector(
-            vals.imag
-        )
+        rhs = self.space.load_vector(np.stack([vals.real, vals.imag]))
+        return rhs[0] + 1j * rhs[1]
 
     def _grad_load_c(self, fx: np.ndarray, fy: np.ndarray) -> np.ndarray:
-        return (
-            self.space.grad_load_vector(fx.real, fy.real)
-            + 1j * self.space.grad_load_vector(fx.imag, fy.imag)
+        rhs = self.space.grad_load_vector(
+            np.stack([fx.real, fx.imag]), np.stack([fy.real, fy.imag])
         )
+        return rhs[0] + 1j * rhs[1]
 
     def set_initial(self, u_amp: AmpFn, v_amp: AmpFn, w_amp: AmpFn) -> None:
         """Project initial modal amplitudes (complex functions of x, y)."""
@@ -286,35 +273,30 @@ class NekTarF:
             wy_e = sum(b * h[1] for b, h in zip(scheme.beta, hist_w))
             wz_e = sum(b * h[2] for b, h in zip(scheme.beta, hist_w))
 
-        # Stage 4: per-mode pressure RHS + rotational pressure BC.
+        # Stage 4: pressure RHS (all local modes at once) + per-mode
+        # rotational pressure BC.
         with stage(3):
-            rhs_p = np.empty((self.nlocal, space.ndof), dtype=np.complex128)
+            ik = (1j * self.k)[:, None]
+            rhs_p = self._grad_load_c(uhx, uhy) - ik * self._load_c(uhz)
+            rhs_p /= dt
             for i in range(self.nlocal):
-                kk = 1j * self.k[i]
-                rhs = self._grad_load_c(uhx[i], uhy[i]) - kk * self._load_c(uhz[i])
-                rhs /= dt
                 self._add_pressure_bc(
-                    rhs, i, wx_e[i], wy_e[i], wz_e[i], scheme.gamma0, t_new
+                    rhs_p[i], i, wx_e[i], wy_e[i], wz_e[i], scheme.gamma0, t_new
                 )
-                rhs_p[i] = rhs
 
         # Stage 5: per-mode Poisson solves.
         with stage(4):
             for i in range(self.nlocal):
                 self.p_hat[i] = self._solve_pressure(i, rhs_p[i])
 
-        # Stage 6: viscous RHS.
+        # Stage 6: viscous RHS, all local modes at once.
         with stage(5):
-            rhs_u = np.empty_like(rhs_p)
-            rhs_v = np.empty_like(rhs_p)
-            rhs_w = np.empty_like(rhs_p)
             scale = 1.0 / (self.nu * dt)
-            for i in range(self.nlocal):
-                px, py = self._gradient_c(self.p_hat[i : i + 1])
-                pz = (1j * self.k[i]) * self._backward_c(self.p_hat[i : i + 1])
-                rhs_u[i] = self._load_c(uhx[i] - dt * px[0]) * scale
-                rhs_v[i] = self._load_c(uhy[i] - dt * py[0]) * scale
-                rhs_w[i] = self._load_c(uhz[i] - dt * pz[0]) * scale
+            px, py = self._gradient_c(self.p_hat)
+            pz = (1j * self.k)[:, None, None] * self._backward_c(self.p_hat)
+            rhs_u = self._load_c(uhx - dt * px) * scale
+            rhs_v = self._load_c(uhy - dt * py) * scale
+            rhs_w = self._load_c(uhz - dt * pz) * scale
 
         # Stage 7: per-mode Helmholtz solves, three components.
         with stage(6):

@@ -22,7 +22,6 @@ import numpy as np
 
 from ..assembly.condensation import CondensedOperator
 from ..assembly.global_system import AssembledOperator, project_dirichlet
-from ..assembly.operators import elemental_helmholtz
 from ..assembly.space import FunctionSpace
 from ..linalg.cg import pcg
 
@@ -54,10 +53,7 @@ class _HelmholtzBase:
         self.space = space
         self.lam = float(lam)
         self.dirichlet_tags = tuple(dirichlet_tags)
-        self.elem_mats = [
-            elemental_helmholtz(space.dofmap.expansion(ei), space.geom[ei], self.lam)
-            for ei in range(space.nelem)
-        ]
+        self.elem_mats = space.elemental_matrices("helmholtz", self.lam)
         if self.dirichlet_tags:
             self.dirichlet_dofs, _ = project_dirichlet(
                 space, self.dirichlet_tags, lambda x, y: 0.0

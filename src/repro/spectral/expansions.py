@@ -284,6 +284,13 @@ class _TensorLayout:
         c[self.pq[:, 0], self.pq[:, 1]] = coeffs
         return c
 
+    def to_tensor_batched(self, coeffs: Array) -> Array:
+        """(..., nmodes) modal stacks -> (..., P+1, P+1) tensor stacks."""
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        c = np.zeros(coeffs.shape[:-1] + (self.np1, self.np1))
+        c[..., self.pq[:, 0], self.pq[:, 1]] = coeffs
+        return c
+
     def from_tensor(self, c: Array) -> Array:
         return c[self.pq[:, 0], self.pq[:, 1]]
 
@@ -333,6 +340,37 @@ class QuadExpansionMixin:
         d1 = self._contract(c.T, tl.b1, tl.d1)  # derivative in xi1
         d2 = self._contract(c.T, tl.d1, tl.b1)  # derivative in xi2
         return d1.ravel(), d2.ravel()
+
+    # -- stacked (batched) variants: same contractions, whole element
+    # -- groups per call, charged identically per element ------------------
+
+    def _contract_batched(self, c: Array, left: Array, right: Array) -> Array:
+        """Stacked :meth:`_contract`: ``c`` is a (..., P+1, P+1) stack of
+        C^T tensors, ``left``/``right`` the shared 1-D factor tables."""
+        from ..linalg import blas
+
+        tl = self.tensor_layout()
+        tmp = np.zeros(c.shape[:-2] + (tl.np1, tl.n1))
+        blas.dgemm_batched(1.0, c, right, 0.0, tmp)
+        out = np.zeros(c.shape[:-2] + (tl.n1, tl.n1))
+        blas.dgemm_batched(1.0, left, tmp, 0.0, out, transa=True)
+        return out
+
+    def backward_sumfact_batched(self, coeffs: Array) -> Array:
+        """(..., nmodes) coefficient stacks -> (..., nq) value stacks."""
+        tl = self.tensor_layout()
+        c = tl.to_tensor_batched(coeffs)
+        vals = self._contract_batched(np.swapaxes(c, -1, -2), tl.b1, tl.b1)
+        return vals.reshape(c.shape[:-2] + (tl.n1 * tl.n1,))
+
+    def gradient_sumfact_batched(self, coeffs: Array) -> tuple[Array, Array]:
+        """Stacked reference derivatives at the quadrature points."""
+        tl = self.tensor_layout()
+        ct = np.swapaxes(tl.to_tensor_batched(coeffs), -1, -2)
+        d1 = self._contract_batched(ct, tl.b1, tl.d1)
+        d2 = self._contract_batched(ct, tl.d1, tl.b1)
+        flat = ct.shape[:-2] + (tl.n1 * tl.n1,)
+        return d1.reshape(flat), d2.reshape(flat)
 
 
 class QuadExpansion(QuadExpansionMixin, Expansion2D):

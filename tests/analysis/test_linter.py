@@ -323,3 +323,36 @@ def test_nested_function_analyzed_separately():
     diags = _lint(src, "src/repro/linalg/fake.py")
     assert _codes(diags) == ["REPRO001"]
     assert "inner" in diags[0].message
+
+
+BATCHED_KERNEL = """
+    import numpy as np
+    from ..linalg import blas
+
+    def apply_mass_batched(phi, w, u):
+        out = np.empty(u.shape[:-1] + (phi.shape[0],))
+        return blas.dgemv_batched(1.0, phi, w * u, 0.0, out)
+
+    def build_ops(a, b, c):
+        blas.dgemm_batched(1.0, a, b, 0.0, c, transb=True)
+        return blas.ddot_batched(a[..., 0, :], b[..., 0, :])
+"""
+
+BATCHED_IMPORTED_KERNEL = """
+    import numpy as np
+    from ..linalg.blas import dgemm_batched
+
+    def build_ops(a, b, c):
+        return dgemm_batched(1.0, a, b, 0.0, c)
+"""
+
+
+def test_batched_kernels_count_as_charging_substrate():
+    """The stacked kernels charge exactly like the per-element calls
+    they replace, so they satisfy the accounting rule."""
+    assert _lint(BATCHED_KERNEL, "src/repro/spectral/fake.py") == []
+    assert _lint(BATCHED_IMPORTED_KERNEL, "src/repro/assembly/fake.py") == []
+
+
+def test_batched_kernels_pass_raw_numpy_rule():
+    assert _lint(BATCHED_KERNEL, "src/repro/ns/fake.py") == []

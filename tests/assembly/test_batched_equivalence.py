@@ -1,0 +1,173 @@
+"""Property tests: batched execution == per-element execution.
+
+The batched engine must be a pure wall-clock optimisation — on randomised
+mixed tri/quad meshes across orders 2..8, every FunctionSpace operation
+must match the per-element reference path to 1e-12 and charge
+byte-for-byte identical OpCounter flop/byte totals (total and per
+label; call counts legitimately differ).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assembly.condensation import CondensedOperator
+from repro.assembly.space import FunctionSpace
+from repro.linalg.counters import OpCounter
+from repro.mesh.generators import rectangle_quads, rectangle_tris
+from repro.mesh.mesh2d import Mesh2D
+
+
+def mixed_mesh() -> Mesh2D:
+    """One quad + two tris sharing edges (and so edge-sign flips)."""
+    verts = np.array(
+        [[0, 0], [1, 0], [1, 1], [0, 1], [2, 0], [2, 1]], dtype=np.float64
+    )
+    return Mesh2D(verts, [(0, 1, 2, 3), (1, 4, 2), (4, 5, 2)])
+
+
+def make_mesh(kind: int, nx: int, ny: int) -> Mesh2D:
+    if kind == 0:
+        return rectangle_quads(nx, ny)
+    if kind == 1:
+        return rectangle_tris(nx, ny)
+    return mixed_mesh()
+
+
+def space_pair(mesh, order, sumfact=False):
+    return (
+        FunctionSpace(mesh, order, sumfact=sumfact, batched=True),
+        FunctionSpace(mesh, order, sumfact=sumfact, batched=False),
+    )
+
+
+def assert_same_charges(cb: OpCounter, cp: OpCounter) -> None:
+    """Batched and per-element totals must be byte-for-byte identical."""
+    assert cb.flops == cp.flops
+    assert cb.bytes == cp.bytes
+    assert set(cb.by_label) == set(cp.by_label)
+    for label, (fp, bp, _) in cp.by_label.items():
+        fb, bb, _ = cb.by_label[label]
+        assert fb == fp, (label, fb, fp)
+        assert bb == bp, (label, bb, bp)
+
+
+@given(
+    st.integers(0, 2),
+    st.integers(1, 3),
+    st.integers(1, 2),
+    st.integers(2, 8),
+    st.booleans(),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_transforms_match_per_element(kind, nx, ny, order, sumfact, seed):
+    mesh = make_mesh(kind, nx, ny)
+    sp_b, sp_p = space_pair(mesh, order, sumfact=sumfact)
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal(sp_b.ndof)
+    with OpCounter() as cb:
+        vb = sp_b.backward(u)
+        gxb, gyb = sp_b.gradient(u)
+        lb = sp_b.load_vector(vb)
+        glb = sp_b.grad_load_vector(gxb, gyb)
+        ib = sp_b.integrate(vb)
+    with OpCounter() as cp:
+        vp = sp_p.backward(u)
+        gxp, gyp = sp_p.gradient(u)
+        lp = sp_p.load_vector(vp)
+        glp = sp_p.grad_load_vector(gxp, gyp)
+        ip = sp_p.integrate(vp)
+    np.testing.assert_allclose(vb, vp, rtol=0.0, atol=1e-12)
+    np.testing.assert_allclose(gxb, gxp, rtol=0.0, atol=1e-12)
+    np.testing.assert_allclose(gyb, gyp, rtol=0.0, atol=1e-12)
+    np.testing.assert_allclose(lb, lp, rtol=0.0, atol=1e-12)
+    np.testing.assert_allclose(glb, glp, rtol=0.0, atol=1e-12)
+    assert abs(ib - ip) <= 1e-12 * max(1.0, abs(ip))
+    assert_same_charges(cb, cp)
+
+
+@given(
+    st.integers(0, 2),
+    st.integers(2, 8),
+    st.floats(0.0, 10.0),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_operator_setup_matches_per_element(kind, order, lam, seed):
+    mesh = make_mesh(kind, 2, 2)
+    sp_b, sp_p = space_pair(mesh, order)
+    with OpCounter() as cb:
+        mats_b = sp_b.elemental_matrices("helmholtz", lam)
+    with OpCounter() as cp:
+        mats_p = sp_p.elemental_matrices("helmholtz", lam)
+    for mb, mp in zip(mats_b, mats_p):
+        np.testing.assert_allclose(mb, mp, rtol=0.0, atol=1e-12)
+    assert_same_charges(cb, cp)
+
+
+@given(
+    st.integers(0, 2),
+    st.integers(2, 8),
+    st.floats(0.0, 5.0),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_condensation_matches_per_element(kind, order, lam, seed):
+    mesh = make_mesh(kind, 2, 2)
+    sp_b, sp_p = space_pair(mesh, order)
+    mats = sp_p.elemental_matrices("helmholtz", lam)
+    rng = np.random.default_rng(seed)
+    bnd = sp_b.dofmap.boundary_dofs()
+    dofs = bnd[: max(1, bnd.size // 3)]
+    g = rng.standard_normal(dofs.size)
+    rhs = rng.standard_normal(sp_b.ndof)
+    with OpCounter() as cb:
+        ub = CondensedOperator(sp_b, mats, dofs).solve(rhs, g)
+    with OpCounter() as cp:
+        up = CondensedOperator(sp_p, mats, dofs).solve(rhs, g)
+    scale = float(np.max(np.abs(up))) or 1.0
+    np.testing.assert_allclose(ub, up, rtol=0.0, atol=1e-12 * max(1.0, scale))
+    assert_same_charges(cb, cp)
+
+
+@given(st.integers(2, 6), st.integers(1, 3), st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_multi_field_matches_single_field(order, nfields, seed):
+    """Leading batch axes give exactly the stacked single-field results."""
+    sp_b, sp_p = space_pair(mixed_mesh(), order)
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((nfields, sp_b.ndof))
+    vals = sp_b.backward(u)
+    assert vals.shape == (nfields, sp_b.nelem, sp_b.nq)
+    for i in range(nfields):
+        np.testing.assert_allclose(
+            vals[i], sp_p.backward(u[i]), rtol=0.0, atol=1e-12
+        )
+    gx, gy = sp_b.gradient(u)
+    rhs = sp_b.load_vector(vals)
+    grhs = sp_b.grad_load_vector(gx, gy)
+    fwd = sp_b.forward(vals)
+    for i in range(nfields):
+        gxi, gyi = sp_p.gradient(u[i])
+        np.testing.assert_allclose(gx[i], gxi, rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(gy[i], gyi, rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(
+            rhs[i], sp_p.load_vector(vals[i]), rtol=0.0, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            grhs[i], sp_p.grad_load_vector(gx[i], gy[i]), rtol=0.0, atol=1e-12
+        )
+        np.testing.assert_allclose(fwd[i], sp_p.forward(vals[i]), atol=1e-10)
+
+
+def test_forward_projection_matches_per_element():
+    sp_b, sp_p = space_pair(mixed_mesh(), 5)
+    rng = np.random.default_rng(3)
+    vals = rng.standard_normal((sp_b.nelem, sp_b.nq))
+    with OpCounter() as cb:
+        fb = sp_b.forward(vals)
+    with OpCounter() as cp:
+        fp = sp_p.forward(vals)
+    np.testing.assert_allclose(fb, fp, rtol=0.0, atol=1e-10)
+    assert_same_charges(cb, cp)

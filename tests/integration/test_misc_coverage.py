@@ -89,3 +89,78 @@ def test_group_ale_missing_stage_keys():
     assert groups["a"] == 0.0
     assert groups["b"] == 40.0
     assert groups["c"] == 60.0
+
+
+def test_elemental_operator_error_branches():
+    from repro.assembly.operators import (
+        elemental_helmholtz,
+        elemental_helmholtz_batched,
+        elemental_load,
+    )
+    from repro.assembly.space import FunctionSpace
+    from repro.mesh.generators import rectangle_quads
+
+    space = FunctionSpace(rectangle_quads(1, 1), 3)
+    exp = space.dofmap.expansion(0)
+    gf = space.geom[0]
+    with pytest.raises(ValueError, match="quadrature points"):
+        elemental_load(exp, gf, np.zeros(gf.nq + 1))
+    with pytest.raises(ValueError, match="Helmholtz constant"):
+        elemental_helmholtz(exp, gf, -1.0)
+    b = space.batches()[0]
+    with pytest.raises(ValueError, match="Helmholtz constant"):
+        elemental_helmholtz_batched(b.exp, b.jw, b.dxi, -1.0)
+    with pytest.raises(ValueError, match="unknown elemental operator"):
+        space.elemental_matrices("advection")
+
+
+def test_space_batched_shape_validation():
+    from repro.assembly.space import FunctionSpace
+    from repro.mesh.generators import rectangle_quads
+
+    space = FunctionSpace(rectangle_quads(2, 1), 3)
+    good = np.zeros((space.nelem, space.nq))
+    with pytest.raises(ValueError, match="quadrature points"):
+        space.load_vector(np.zeros((space.nelem, space.nq + 1)))
+    with pytest.raises(ValueError, match="quadrature points"):
+        space.grad_load_vector(good, np.zeros((space.nelem + 1, space.nq)))
+
+
+@pytest.mark.parametrize("batched", [True, False])
+def test_condensation_error_branches(batched):
+    from repro.assembly.condensation import CondensedOperator
+    from repro.assembly.space import FunctionSpace
+    from repro.mesh.generators import rectangle_quads
+
+    space = FunctionSpace(rectangle_quads(2, 2), 4, batched=batched)
+    mats = space.elemental_matrices("helmholtz", 1.0)
+    # Dirichlet dofs must live on the boundary system.
+    with pytest.raises(ValueError, match="boundary"):
+        CondensedOperator(space, mats, [space.ndof - 1])
+    op = CondensedOperator(space, mats)
+    with pytest.raises(ValueError, match="global dofs"):
+        op.solve(np.zeros(space.ndof - 1))
+    # A singular interior block must fail loudly in either mode
+    # (scipy re-exports numpy's LinAlgError, so one type covers both).
+    bad = [m.copy() for m in mats]
+    nb = len(space.dofmap.expansion(0).boundary_modes)
+    bad[0][nb:, nb:] = 0.0
+    with pytest.raises(np.linalg.LinAlgError):
+        CondensedOperator(space, bad)
+
+
+@pytest.mark.parametrize("batched", [True, False])
+def test_condensation_rejects_interior_first_ordering(batched, monkeypatch):
+    from repro.assembly.condensation import CondensedOperator
+    from repro.assembly.space import FunctionSpace
+    from repro.mesh.generators import rectangle_quads
+
+    space = FunctionSpace(rectangle_quads(1, 1), 3, batched=batched)
+    mats = space.elemental_matrices("mass")
+    exp = space.dofmap.expansion(0)
+    bad_order = list(reversed(exp.boundary_modes))
+    monkeypatch.setattr(
+        type(exp), "boundary_modes", property(lambda self: bad_order)
+    )
+    with pytest.raises(ValueError, match="boundary modes first"):
+        CondensedOperator(space, mats)

@@ -104,3 +104,76 @@ def test_overall_not_by_far():
             for s in ("NCSA", "SP2-Silver", "SP2-Thin2")
         )
         assert myr < 2.0 * best, p
+
+
+def test_batching_leaves_cost_tables_unchanged():
+    """Golden regression: the batched execution engine must not move the
+    reproduced per-timestep cost model.  The serial bluff-body stage
+    flops — which also drive the NekTar-F weak-scaling table via
+    ``nektar_f_bench._per_proc_stage_flops`` — must be identical whether
+    the instrumented reduced run executes batched or per-element."""
+    from repro.apps.pricing import price_stages, total_time
+    from repro.apps.serial_bluff import (
+        TABLE1_MACHINES,
+        measure_reduced,
+        paper_stage_flops,
+    )
+    from repro.machines.catalog import MACHINES
+
+    measured_b = measure_reduced(batched=True)
+    measured_p = measure_reduced(batched=False)
+    flops_b = paper_stage_flops(measured_b)
+    flops_p = paper_stage_flops(measured_p)
+    assert flops_b == flops_p
+    # And therefore the priced Table 1 column is unchanged too.
+    for mkey in TABLE1_MACHINES:
+        cpu = MACHINES[mkey].cpu
+        assert total_time(price_stages(cpu, flops_b)) == total_time(
+            price_stages(cpu, flops_p)
+        )
+
+
+def test_batching_leaves_nektar_f_step_flops_unchanged():
+    """Golden regression on the 3-D solver itself: a short NekTar-F run
+    charges identical op totals (and produces the same solution) in
+    both execution modes."""
+    import numpy as np
+
+    from repro.assembly.space import FunctionSpace
+    from repro.linalg.counters import OpCounter
+    from repro.machines.network import NetworkModel
+    from repro.mesh.generators import rectangle_quads
+    from repro.ns.nektar_f import NekTarF
+    from repro.parallel.simmpi import VirtualCluster
+
+    net = NetworkModel("t", latency_us=5, bandwidth=1e9)
+
+    def run(batched):
+        def rank_fn(comm):
+            mesh = rectangle_quads(2, 2)
+            space = FunctionSpace(mesh, 3, batched=batched)
+            one = lambda m, x, y, t: 1.0 if m == 0 else 0.0  # noqa: E731
+            zero = lambda m, x, y, t: 0.0  # noqa: E731
+            bcs = {
+                t: (one, zero, zero) for t in ("left", "top", "bottom")
+            }
+            nf = NekTarF(
+                comm, space, nz=4, nu=0.02, dt=1e-3, velocity_bcs=bcs,
+                pressure_dirichlet=("right",),
+            )
+            nf.set_initial(one, zero, zero)
+            with OpCounter() as c:
+                nf.run(2)
+            return nf.u_hat, nf.p_hat, c.flops, c.bytes, dict(c.by_label)
+
+        return VirtualCluster(1, net).run(rank_fn)[0]
+
+    u_b, p_b, fl_b, by_b, lab_b = run(True)
+    u_p, p_p, fl_p, by_p, lab_p = run(False)
+    np.testing.assert_allclose(u_b, u_p, rtol=0.0, atol=1e-11)
+    np.testing.assert_allclose(p_b, p_p, rtol=0.0, atol=1e-10)
+    assert fl_b == fl_p
+    assert by_b == by_p
+    assert {k: v[:2] for k, v in lab_b.items()} == {
+        k: v[:2] for k, v in lab_p.items()
+    }

@@ -151,3 +151,98 @@ def test_counters_nest():
 def test_counter_inactive_is_noop():
     # No active counter: kernels still work.
     assert blas.ddot(np.ones(4), np.ones(4)) == pytest.approx(4.0)
+
+
+# -- batched kernels -----------------------------------------------------------
+
+
+def test_ddot_batched_matches_ddot():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((3, 4, 7))
+    y = rng.standard_normal((3, 4, 7))
+    with OpCounter() as cb:
+        out = blas.ddot_batched(x, y)
+    assert out.shape == (3, 4)
+    with OpCounter() as cp:
+        ref = np.array([[blas.ddot(x[i, j], y[i, j]) for j in range(4)] for i in range(3)])
+    np.testing.assert_allclose(out, ref, atol=1e-12)
+    assert (cb.flops, cb.bytes) == (cp.flops, cp.bytes)
+    with pytest.raises(ValueError):
+        blas.ddot_batched(x, y[:, :2])
+
+
+@pytest.mark.parametrize("trans", [False, True])
+@pytest.mark.parametrize("shared", [False, True])
+def test_dgemv_batched_matches_dgemv(trans, shared):
+    rng = np.random.default_rng(1)
+    nb, m, n = 5, 4, 6
+    a_stack = rng.standard_normal((nb, m, n))
+    a = a_stack[0] if shared else a_stack
+    x = rng.standard_normal((nb, m if trans else n))
+    y = rng.standard_normal((nb, n if trans else m))
+    for alpha, beta in ((1.0, 0.0), (2.0, 0.5), (-1.0, 1.0)):
+        yb = y.copy()
+        with OpCounter() as cb:
+            blas.dgemv_batched(alpha, a, x, beta, yb, trans=trans)
+        yp = y.copy()
+        with OpCounter() as cp:
+            for i in range(nb):
+                ai = a if shared else a[i]
+                blas.dgemv(alpha, ai, x[i], beta, yp[i], trans=trans)
+        np.testing.assert_allclose(yb, yp, atol=1e-12)
+        assert (cb.flops, cb.bytes) == (cp.flops, cp.bytes)
+        for lab, (fp, bp, _) in cp.by_label.items():
+            fb, bb, _ = cb.by_label[lab]
+            assert (fb, bb) == (fp, bp)
+
+
+def test_dgemv_batched_validation():
+    a = np.zeros((3, 4, 5))
+    with pytest.raises(ValueError, match="float64"):
+        blas.dgemv_batched(1.0, a, np.zeros((3, 5)), 0.0, np.zeros((3, 4), np.float32))
+    with pytest.raises(ValueError, match="dimension mismatch"):
+        blas.dgemv_batched(1.0, a, np.zeros((3, 6)), 0.0, np.zeros((3, 4)))
+    with pytest.raises(ValueError, match="batch-shape mismatch"):
+        blas.dgemv_batched(1.0, a, np.zeros((2, 5)), 0.0, np.zeros((2, 4)))
+    with pytest.raises(ValueError, match=">= 2-D"):
+        blas.dgemv_batched(1.0, np.zeros(4), np.zeros((3, 5)), 0.0, np.zeros((3, 4)))
+
+
+@pytest.mark.parametrize("transa", [False, True])
+@pytest.mark.parametrize("transb", [False, True])
+def test_dgemm_batched_matches_dgemm(transa, transb):
+    rng = np.random.default_rng(2)
+    nb, m, n, k = 4, 3, 5, 6
+    a = rng.standard_normal((nb, k, m) if transa else (nb, m, k))
+    b = rng.standard_normal((nb, n, k) if transb else (nb, k, n))
+    c = rng.standard_normal((nb, m, n))
+    for alpha, beta in ((1.0, 0.0), (0.5, 0.0), (2.0, -1.0)):
+        cb_ = c.copy()
+        with OpCounter() as cnt_b:
+            blas.dgemm_batched(alpha, a, b, beta, cb_, transa=transa, transb=transb)
+        cp_ = c.copy()
+        with OpCounter() as cnt_p:
+            for i in range(nb):
+                blas.dgemm(alpha, a[i], b[i], beta, cp_[i], transa=transa, transb=transb)
+        np.testing.assert_allclose(cb_, cp_, atol=1e-12)
+        assert (cnt_b.flops, cnt_b.bytes) == (cnt_p.flops, cnt_p.bytes)
+
+
+def test_dgemm_batched_shared_operands_and_validation():
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((3, 4))        # shared
+    b = rng.standard_normal((5, 4, 2))     # stacked
+    c = np.zeros((5, 3, 2))
+    with OpCounter() as cnt:
+        blas.dgemm_batched(1.0, a, b, 0.0, c)
+    ref = np.stack([a @ b[i] for i in range(5)])
+    np.testing.assert_allclose(c, ref, atol=1e-12)
+    assert cnt.flops == 5 * 2 * 3 * 2 * 4
+    with pytest.raises(ValueError, match="dimension mismatch"):
+        blas.dgemm_batched(1.0, a, b, 0.0, np.zeros((5, 3, 3)))
+    with pytest.raises(ValueError, match="batch-shape mismatch"):
+        blas.dgemm_batched(1.0, a, b[:4], 0.0, c)
+    with pytest.raises(ValueError, match="float64"):
+        blas.dgemm_batched(1.0, a, b, 0.0, np.zeros((5, 3, 2), np.float32))
+    with pytest.raises(ValueError, match=">= 2-D"):
+        blas.dgemm_batched(1.0, a, b, 0.0, np.zeros(3))
