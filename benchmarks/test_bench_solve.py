@@ -1,0 +1,29 @@
+"""Tier-2 benchmark: blocked vs per-RHS Helmholtz solves in NekTar-F.
+
+Runs the ``repro.apps.solve_bench`` smoke harness end to end, asserting
+the invariant the multi-RHS engine rests on: the blocked and per-RHS
+solve paths charge byte-for-byte identical OpCounter totals per step
+(the harness raises otherwise), and the report is well formed.  The
+>= 3x stage 5+7 acceptance gate applies to the full paper-size run
+(``BENCH_solve.json`` at the repo root), not the smoke configuration,
+whose boundary systems are too small for the blocked sweeps to engage.
+"""
+
+import json
+
+from repro.apps import solve_bench
+
+
+def test_solve_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_solve.json"
+    results = solve_bench.main(
+        ["--smoke", "--out", str(out), "--repeats", "1"]
+    )
+    assert results["charges_identical"]
+    on_disk = json.loads(out.read_text())
+    assert on_disk["config"]["smoke"] is True
+    assert set(on_disk["stages"]) == {"5:pressure-solve", "7:viscous-solve"}
+    for entry in on_disk["stages"].values():
+        assert entry["blocked_s"] > 0.0 and entry["reference_s"] > 0.0
+    assert on_disk["solve_speedup"] > 0.0
+    assert on_disk["step_blocked_s"] > 0.0

@@ -138,15 +138,19 @@ _THREADING_NAMES = {
 _BLAS_KERNELS = {
     "dcopy",
     "daxpy",
+    "daxpy_batched",
     "ddot",
     "ddot_batched",
     "dscal",
+    "dscal_batched",
     "dnrm2",
     "dgemv",
     "dgemv_batched",
     "dgemm",
     "dgemm_batched",
+    "dtrsm_batched",
     "dvmul",
+    "dvmul_batched",
     "dvadd",
     "dsvtvp",
 }

@@ -41,19 +41,14 @@ SMOKE_MESH = {"m": 3, "nr": 1}
 SMOKE_ORDER = 5
 
 
-def _timed(fn, repeats: int):
-    """Best-of-``repeats`` wall time plus the OpCounter totals of one run."""
+def _charges(fn):
+    """OpCounter flop/byte totals of one run (also serves as warm-up)."""
     with OpCounter() as c:
         fn()
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, c.flops, c.bytes
+    return c.flops, c.bytes
 
 
-def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
+def run_bench(smoke: bool = False, repeats: int = 5) -> dict:
     """Benchmark both execution modes; returns the results dict."""
     mesh = bluff_body_mesh(**(SMOKE_MESH if smoke else PAPER_MESH))
     order = SMOKE_ORDER if smoke else PAPER_ORDER
@@ -94,14 +89,22 @@ def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
     tr_totals = {"batched": 0.0, "per_element": 0.0}
     for name in ops_for(spaces["batched"]):
         entry: dict = {}
-        charges = {}
-        for mode, space in spaces.items():
-            secs, flops, nbytes = _timed(ops_for(space)[name], repeats)
-            entry[f"{mode}_s"] = secs
-            charges[mode] = (flops, nbytes)
-            totals[mode] += secs
+        fns = {mode: ops_for(space)[name] for mode, space in spaces.items()}
+        charges = {mode: _charges(fn) for mode, fn in fns.items()}
+        # Interleave the two modes within each repeat so slow machine
+        # drift (frequency scaling, background load) hits both equally
+        # instead of biasing whichever mode ran second.
+        best = dict.fromkeys(fns, float("inf"))
+        for _ in range(repeats):
+            for mode, fn in fns.items():
+                t0 = time.perf_counter()
+                fn()
+                best[mode] = min(best[mode], time.perf_counter() - t0)
+        for mode in fns:
+            entry[f"{mode}_s"] = best[mode]
+            totals[mode] += best[mode]
             if name in transform_ops:
-                tr_totals[mode] += secs
+                tr_totals[mode] += best[mode]
         if charges["batched"] != charges["per_element"]:
             raise AssertionError(
                 f"{name}: OpCounter totals differ between modes: "
@@ -123,7 +126,7 @@ def main(argv=None) -> dict:
         "--smoke", action="store_true", help="reduced size for CI smoke runs"
     )
     parser.add_argument("--out", default="BENCH_batched.json", help="output path")
-    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=5)
     args = parser.parse_args(argv)
     results = run_bench(smoke=args.smoke, repeats=args.repeats)
     with open(args.out, "w") as fh:

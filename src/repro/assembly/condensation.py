@@ -52,17 +52,25 @@ class CondensedOperator:
 
         self.batched = bool(getattr(space, "batched", False))
         self._groups: list[dict] = []
+        rows, cols, vals = [], [], []
         if self.batched:
-            schur = self._setup_batched(elem_mats)
+            # Group-wise Schur assembly: sign-conjugate and scatter whole
+            # element stacks at once (duplicate COO entries are summed by
+            # tocsr; the grouped entry order only reassociates that sum).
+            for grp, s in zip(*self._setup_batched(elem_mats)):
+                nb, bdofs, bsigns = grp["nb"], grp["bdofs"], grp["bsigns"]
+                ss = bsigns[:, :, None] * s * bsigns[:, None, :]
+                rows.append(np.repeat(bdofs, nb, axis=1).ravel())
+                cols.append(np.tile(bdofs, (1, nb)).ravel())
+                vals.append(ss.ravel())
         else:
             schur = self._setup_per_element(elem_mats)
-        rows, cols, vals = [], [], []
-        for pe, s_e in zip(self._per_elem, schur):
-            nb, bdofs, bsigns = pe["nb"], pe["bdofs"], pe["bsigns"]
-            ss = (bsigns[:, None] * s_e) * bsigns[None, :]
-            rows.append(np.repeat(bdofs, nb))
-            cols.append(np.tile(bdofs, nb))
-            vals.append(ss.ravel())
+            for pe, s_e in zip(self._per_elem, schur):
+                nb, bdofs, bsigns = pe["nb"], pe["bdofs"], pe["bsigns"]
+                ss = (bsigns[:, None] * s_e) * bsigns[None, :]
+                rows.append(np.repeat(bdofs, nb))
+                cols.append(np.tile(bdofs, nb))
+                vals.append(ss.ravel())
         s_glob = sp.coo_matrix(
             (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
             shape=(self.nb_glob, self.nb_glob),
@@ -130,10 +138,11 @@ class CondensedOperator:
             schur.append(s_e)
         return schur
 
-    def _setup_batched(self, elem_mats) -> list[np.ndarray]:
+    def _setup_batched(self, elem_mats):
         """Batched path: group same-shape elements, factor the interior
         blocks with one stacked Cholesky per group, and eliminate them
-        with stacked triangular solves.
+        with stacked triangular solves.  Returns ``(groups, schur)`` with
+        one stacked (ng, nb, nb) Schur complement per group.
 
         Charges per element, in element order, exactly what the
         per-element path charges (the sc-setup value is not an integer,
@@ -147,8 +156,7 @@ class CondensedOperator:
             exp = dm.expansion(e)
             by_exp.setdefault(id(exp), []).append(e)
             exps[id(exp)] = exp
-        self._per_elem = [None] * nelem
-        schur: list[np.ndarray | None] = [None] * nelem
+        group_schur: list[np.ndarray] = []
         setup_charges: list[tuple[float, float] | None] = [None] * nelem
         for key, elems in by_exp.items():
             exp = exps[key]
@@ -166,22 +174,16 @@ class CondensedOperator:
             idofs = np.stack([dm.elem_dofs[e][nb:] for e in elems])
             if ni:
                 low = np.linalg.cholesky(aii)  # stacked dpotrf, lower
-                # Aii X = Aib by stacked forward/backward substitution.
-                aib = np.swapaxes(abi, -1, -2).copy()
-                y = np.empty_like(aib)
-                for i in range(ni):
-                    y[:, i, :] = (
-                        aib[:, i, :]
-                        - np.einsum("gk,gkm->gm", low[:, i, :i], y[:, :i, :])
-                    ) / low[:, i, i][:, None]
-                x = np.empty_like(aib)
-                for i in range(ni - 1, -1, -1):
-                    x[:, i, :] = (
-                        y[:, i, :]
-                        - np.einsum("gk,gkm->gm", low[:, i + 1 :, i], x[:, i + 1 :, :])
-                    ) / low[:, i, i][:, None]
-                aii_inv_aib = x
+                # Aii X = Aib, one stacked LAPACK solve (the interior
+                # blocks are SPD and tiny, so the LU detour costs nothing
+                # and beats a Python-level substitution sweep by far).
+                aii_inv_aib = np.linalg.solve(aii, np.swapaxes(abi, -1, -2))
                 s = abb - np.matmul(abi, aii_inv_aib)
+                for e in elems:
+                    setup_charges[e] = (
+                        2.0 * ni * ni * nb + ni**3 / 3.0,
+                        8.0 * (ni + nb) ** 2,
+                    )
             else:
                 low = None
                 aii_inv_aib = np.zeros((g, 0, nb))
@@ -189,6 +191,7 @@ class CondensedOperator:
             self._groups.append(
                 {
                     "low": low,
+                    "linv": None,  # lazy L^{-1}, built on first multi-RHS solve
                     "abi": abi,
                     "aii_inv_aib": aii_inv_aib,
                     "bdofs": bdofs,
@@ -199,27 +202,11 @@ class CondensedOperator:
                     "ng": g,
                 }
             )
-            for j, e in enumerate(elems):
-                self._per_elem[e] = {
-                    "abi": abi[j],
-                    "chol": (low[j], True) if ni else None,
-                    "aii_inv_aib": aii_inv_aib[j],
-                    "bdofs": bdofs[j],
-                    "bsigns": bsigns[j],
-                    "idofs": idofs[j],
-                    "nb": nb,
-                    "ni": ni,
-                }
-                schur[e] = s[j]
-                if ni:
-                    setup_charges[e] = (
-                        2.0 * ni * ni * nb + ni**3 / 3.0,
-                        8.0 * (ni + nb) ** 2,
-                    )
+            group_schur.append(s)
         for e in range(nelem):
             if setup_charges[e] is not None:
                 charge(setup_charges[e][0], setup_charges[e][1], "sc-setup")
-        return schur
+        return self._groups, group_schur
 
     @property
     def ndof(self) -> int:
@@ -228,8 +215,17 @@ class CondensedOperator:
     def solve(
         self, rhs: np.ndarray, dirichlet_values: np.ndarray | None = None
     ) -> np.ndarray:
-        """Solve A u = rhs (assembled global load vector)."""
+        """Solve A u = rhs (assembled global load vector).
+
+        ``rhs`` may also be a row-stacked (nrhs, ndof) block — the NS
+        inner loop's multi-RHS path — solved in one batched condense /
+        blocked boundary sweep / batched back-substitution, charging
+        exactly nrhs column-by-column solves.  ``dirichlet_values`` then
+        broadcasts: a single (nd,) vector or one row per RHS.
+        """
         rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.ndim == 2 and rhs.shape[1] == self.ndof:
+            return self._solve_many(rhs, dirichlet_values)
         if rhs.shape != (self.ndof,):
             raise ValueError("rhs must cover all global dofs")
         # Condense: gb = rb - sum_e Q_e^T Abi Aii^{-1} fi.
@@ -278,6 +274,90 @@ class CondensedOperator:
             blas.dgemv(-1.0, pe["aii_inv_aib"], ub, 1.0, ui)
             u[pe["idofs"]] = ui
         return u
+
+    # -- multi-RHS (row-stacked) path -----------------------------------------
+
+    def _many_dirichlet(self, nrhs: int, dirichlet_values) -> np.ndarray:
+        """Broadcast prescribed values to one (nrhs, nd) row per RHS."""
+        nd = self.dirichlet.size
+        if dirichlet_values is None:
+            return np.zeros((nrhs, nd))
+        dv = np.asarray(dirichlet_values, dtype=np.float64)
+        if dv.ndim == 1:
+            dv = np.broadcast_to(dv, (nrhs, nd))
+        if dv.shape != (nrhs, nd):
+            raise ValueError("dirichlet_values shape mismatch")
+        return dv
+
+    def _solve_many(self, rhs: np.ndarray, dirichlet_values) -> np.ndarray:
+        nrhs = rhs.shape[0]
+        if not self.batched:
+            # Per-element reference semantics: column by column.
+            if self.dirichlet.size:
+                dv = self._many_dirichlet(nrhs, dirichlet_values)
+                return np.stack(
+                    [self.solve(rhs[i], dv[i]) for i in range(nrhs)]
+                )
+            return np.stack([self.solve(rhs[i]) for i in range(nrhs)])
+        gb = rhs[:, : self.nb_glob].copy()
+        fi_store: list = []
+        for grp in self._groups:
+            if grp["ni"] == 0:
+                fi_store.append(None)
+                continue
+            fi = rhs[:, grp["idofs"]]  # (nrhs, ng, ni)
+            fi_store.append(fi)
+            tmp = self._cho_solve_group_many(grp, fi)
+            corr = np.zeros((nrhs, grp["ng"], grp["nb"]))
+            blas.dgemv_batched(1.0, grp["abi"], tmp, 0.0, corr)
+            gb -= (self._group_scatter(grp) @ corr.reshape(nrhs, -1).T).T
+        if self.dirichlet.size:
+            dv = self._many_dirichlet(nrhs, dirichlet_values)
+            b = gb[:, self.free] - (self.s_fk @ dv.T).T
+        else:
+            dv = None
+            b = gb[:, self.free]
+        x = np.empty_like(b)
+        if self.solver is not None:
+            x[:, self.perm] = self.solver.solve_many(b[:, self.perm])
+        u = np.zeros((nrhs, self.ndof))
+        u[:, self.free] = x
+        if dv is not None:
+            u[:, self.dirichlet] = dv
+        for grp, fi in zip(self._groups, fi_store):
+            if grp["ni"] == 0:
+                continue
+            ub = grp["bsigns"] * u[:, grp["bdofs"]]
+            ui = self._cho_solve_group_many(grp, fi)
+            blas.dgemv_batched(-1.0, grp["aii_inv_aib"], ub, 1.0, ui)
+            u[:, grp["idofs"]] = ui
+        return u
+
+    def _cho_solve_group_many(self, grp: dict, b: np.ndarray) -> np.ndarray:
+        """Stacked Aii^{-1} b over elements x RHS: two triangular sweeps
+        applied as Level-3 multiplies by the cached L^{-1} (the interior
+        blocks are tiny and well-conditioned, so the explicit inverse
+        loses nothing).  Two ``dtrsm`` charges price one cho_solve per
+        item-RHS — identical to the per-column path's "sc-chol"."""
+        if grp["linv"] is None:
+            grp["linv"] = np.linalg.inv(grp["low"])
+        y = blas.dtrsm_batched(grp["linv"], b, label="sc-chol")
+        return blas.dtrsm_batched(grp["linv"], y, trans=True, label="sc-chol")
+
+    def _group_scatter(self, grp: dict) -> sp.csr_matrix:
+        """CSR gather/scatter Q_e^T of one group's boundary dofs (signs
+        folded in), so the condense correction is one spmv over the whole
+        stack instead of an ``np.subtract.at`` per RHS."""
+        if "scatter" not in grp:
+            nitems = grp["ng"] * grp["nb"]
+            grp["scatter"] = sp.csr_matrix(
+                (
+                    grp["bsigns"].ravel().astype(np.float64),
+                    (grp["bdofs"].ravel(), np.arange(nitems)),
+                ),
+                shape=(self.nb_glob, nitems),
+            )
+        return grp["scatter"]
 
     def _cho_solve_group(self, grp: dict, b: np.ndarray) -> np.ndarray:
         """Stacked Aii^{-1} b for one group (forward + backward sweeps of

@@ -73,29 +73,36 @@ def elemental_load(exp: Expansion2D, gf: GeomFactors, fvals: np.ndarray) -> np.n
 # the per-element flop/byte totals (see repro.linalg.blas).  ``jw`` is
 # the (ng, nq) stacked weights and ``dxi`` the (ng, 2, 2, nq) stacked
 # inverse-Jacobian factors of an :class:`~repro.assembly.batching.ElementBatch`.
+#
+# The quadrature weights are applied in *split square-root* form: with
+# sa = a * sqrt(w) the weighted outer product a W b^T becomes sa sb^T,
+# so the Jacobian weighting rides along in the (tiny) geometric-factor
+# arrays instead of costing an extra (ng, nmodes, nq) elementwise pass
+# per operand — the dgemm shapes, and hence the charges, are unchanged.
 
 
-def _weighted_outer_batched(
-    a: np.ndarray, w: np.ndarray, b: np.ndarray
-) -> np.ndarray:
-    """out[e] = op(a[e] * w[e]) @ b[e].T for shared or stacked a/b."""
-    out = np.zeros(w.shape[:-1] + (a.shape[-2], b.shape[-2]))
-    blas.dgemm_batched(1.0, a * w[..., None, :], b, 0.0, out, transb=True)
+def _outer_batched(a: np.ndarray, b: np.ndarray, lead: tuple) -> np.ndarray:
+    """out[e] = a[e] @ b[e].T for shared or stacked a/b."""
+    out = np.zeros(lead + (a.shape[-2], b.shape[-2]))
+    blas.dgemm_batched(1.0, a, b, 0.0, out, transb=True)
     return out
 
 
 def elemental_mass_batched(exp: Expansion2D, jw: np.ndarray) -> np.ndarray:
     """(ng, nmodes, nmodes) stacked mass matrices of one element batch."""
-    return _weighted_outer_batched(exp.phi, jw, exp.phi)
+    sphi = exp.phi * np.sqrt(jw)[..., None, :]
+    return _outer_batched(sphi, sphi, jw.shape[:-1])
 
 
 def elemental_laplacian_batched(
     exp: Expansion2D, jw: np.ndarray, dxi: np.ndarray
 ) -> np.ndarray:
     """(ng, nmodes, nmodes) stacked stiffness matrices (Figure 10)."""
-    dx = exp.dphi1 * dxi[:, None, 0, 0, :] + exp.dphi2 * dxi[:, None, 1, 0, :]
-    dy = exp.dphi1 * dxi[:, None, 0, 1, :] + exp.dphi2 * dxi[:, None, 1, 1, :]
-    return _weighted_outer_batched(dx, jw, dx) + _weighted_outer_batched(dy, jw, dy)
+    m = dxi * np.sqrt(jw)[:, None, None, :]
+    sdx = exp.dphi1 * m[:, None, 0, 0, :] + exp.dphi2 * m[:, None, 1, 0, :]
+    sdy = exp.dphi1 * m[:, None, 0, 1, :] + exp.dphi2 * m[:, None, 1, 1, :]
+    lead = jw.shape[:-1]
+    return _outer_batched(sdx, sdx, lead) + _outer_batched(sdy, sdy, lead)
 
 
 def elemental_helmholtz_batched(

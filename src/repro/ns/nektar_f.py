@@ -66,6 +66,8 @@ class NekTarF:
         lz: float = 2.0 * np.pi,
         time_order: int = 2,
         charge_compute: bool = False,
+        blocked_solves: bool = True,
+        steady_bcs: bool | None = None,
     ):
         if nu <= 0 or dt <= 0:
             raise ValueError("nu and dt must be positive")
@@ -77,6 +79,7 @@ class NekTarF:
         self.lz = float(lz)
         self.scheme = stiffly_stable(time_order)
         self.charge_compute = charge_compute
+        self.blocked_solves = bool(blocked_solves)
         self.velocity_bcs = dict(velocity_bcs)
         self.vel_tags = tuple(sorted(velocity_bcs))
         self.pressure_dirichlet = tuple(pressure_dirichlet)
@@ -124,6 +127,13 @@ class NekTarF:
             )
         else:
             self._dirichlet_dofs = np.array([], dtype=np.int64)
+
+        # Dirichlet-value cache: the dof layout above is computed once;
+        # the values are cached per (component, local mode) and reused
+        # outright when the amplitude function is time-independent
+        # (detected by probing, or forced via ``steady_bcs``).
+        self._bc_cache: dict[tuple[int, int], tuple[float | None, np.ndarray]] = {}
+        self._bc_steady = self._probe_steady_bcs(steady_bcs)
 
         nloc = len(self.my_modes)
         self.u_hat = np.zeros((nloc, space.ndof), dtype=np.complex128)
@@ -183,10 +193,46 @@ class NekTarF:
         self._hist_u.clear()
         self._hist_w.clear()
 
+    def _probe_steady_bcs(self, steady_bcs: bool | None) -> dict[int, bool]:
+        """Per-component time-independence of the velocity BC amplitudes.
+
+        ``steady_bcs`` forces the answer; otherwise each amplitude is
+        probed at a few boundary points, modes and times — equal values
+        everywhere mean the per-step edge projections can be skipped.
+        """
+        if not self.vel_tags or not self.my_modes:
+            return {c: True for c in range(3)}
+        if steady_bcs is not None:
+            return {c: bool(steady_bcs) for c in range(3)}
+        probe_t = (0.0, 0.37, 1.91)
+        modes = {self.my_modes[0], self.my_modes[-1]}
+        steady = {c: True for c in range(3)}
+        for tag in self.vel_tags:
+            pts = []
+            for eq in self._edge_quads[tag][:2]:
+                pts.append((float(eq.x[0]), float(eq.y[0])))
+                pts.append((float(eq.x[-1]), float(eq.y[-1])))
+            for comp in range(3):
+                amp = self.velocity_bcs[tag][comp]
+                steady[comp] = steady[comp] and all(
+                    complex(amp(m, x, y, probe_t[0])) == complex(amp(m, x, y, tt))
+                    for m in modes
+                    for x, y in pts
+                    for tt in probe_t[1:]
+                )
+        return steady
+
     def _bc_values(self, comp: int, mode_i: int, t: float) -> np.ndarray | None:
-        """Dirichlet amplitude coefficients of one component and local mode."""
+        """Dirichlet amplitude coefficients of one component and local mode.
+
+        Cached per (comp, mode): a steady amplitude is projected exactly
+        once; an unsteady one is re-projected only when ``t`` changes.
+        """
         if not self.vel_tags:
             return None
+        hit = self._bc_cache.get((comp, mode_i))
+        if hit is not None and (hit[0] is None or hit[0] == t):
+            return hit[1]
         m = self.my_modes[mode_i]
         re: dict[int, float] = {}
         im: dict[int, float] = {}
@@ -200,9 +246,14 @@ class NekTarF:
                 self.space, (tag,), lambda x, y: float(np.imag(amp(m, x, y, t)))
             )
             im.update(zip(dofs.tolist(), vals.tolist()))
-        return np.array(
+        out = np.array(
             [complex(re[int(d)], im[int(d)]) for d in self._dirichlet_dofs]
         )
+        self._bc_cache[(comp, mode_i)] = (
+            None if self._bc_steady[comp] else t,
+            out,
+        )
+        return out
 
     def _viscous_solver(self, mode_i: int, gamma0: float) -> HelmholtzDirect:
         k = float(self.k[mode_i])
@@ -284,10 +335,17 @@ class NekTarF:
                     rhs_p[i], i, wx_e[i], wy_e[i], wz_e[i], scheme.gamma0, t_new
                 )
 
-        # Stage 5: per-mode Poisson solves.
+        # Stage 5: per-mode Poisson solves — real and imaginary parts
+        # share the factorisation, so the blocked path sweeps them as one
+        # (2, ndof) RHS block per mode.
         with stage(4):
+            solve_p = (
+                self._solve_pressure_block
+                if self.blocked_solves
+                else self._solve_pressure
+            )
             for i in range(self.nlocal):
-                self.p_hat[i] = self._solve_pressure(i, rhs_p[i])
+                self.p_hat[i] = solve_p(i, rhs_p[i])
 
         # Stage 6: viscous RHS, all local modes at once.
         with stage(5):
@@ -298,23 +356,32 @@ class NekTarF:
             rhs_v = self._load_c(uhy - dt * py) * scale
             rhs_w = self._load_c(uhz - dt * pz) * scale
 
-        # Stage 7: per-mode Helmholtz solves, three components.
+        # Stage 7: per-mode Helmholtz solves, three components.  The
+        # blocked path stacks all six real solves per mode (3 components
+        # x re/im, all sharing the mode's factorisation) into one
+        # (6, ndof) block.
         with stage(6):
-            for i in range(self.nlocal):
-                solver = self._viscous_solver(i, scheme.gamma0)
-                for hat, rhs, comp in (
-                    (self.u_hat, rhs_u, 0),
-                    (self.v_hat, rhs_v, 1),
-                    (self.w_hat, rhs_w, 2),
-                ):
-                    bc = self._bc_values(comp, i, t_new)
-                    re = solver.solve_rhs(
-                        rhs[i].real, None if bc is None else bc.real
+            if self.blocked_solves:
+                for i in range(self.nlocal):
+                    self._solve_viscous_block(
+                        i, rhs_u[i], rhs_v[i], rhs_w[i], scheme.gamma0, t_new
                     )
-                    im = solver.solve_rhs(
-                        rhs[i].imag, None if bc is None else bc.imag
-                    )
-                    hat[i] = re + 1j * im
+            else:
+                for i in range(self.nlocal):
+                    solver = self._viscous_solver(i, scheme.gamma0)
+                    for hat, rhs, comp in (
+                        (self.u_hat, rhs_u, 0),
+                        (self.v_hat, rhs_v, 1),
+                        (self.w_hat, rhs_w, 2),
+                    ):
+                        bc = self._bc_values(comp, i, t_new)
+                        re = solver.solve_rhs(
+                            rhs[i].real, None if bc is None else bc.real
+                        )
+                        im = solver.solve_rhs(
+                            rhs[i].imag, None if bc is None else bc.imag
+                        )
+                        hat[i] = re + 1j * im
 
         self._hist_u.appendleft((u, v, w))
         self._hist_n.appendleft((nu_t, nv_t, nw_t))
@@ -332,6 +399,58 @@ class NekTarF:
         return solver.solve_rhs(rhs.real, zero) + 1j * solver.solve_rhs(
             rhs.imag, zero
         )
+
+    def _solve_pressure_block(self, i: int, rhs: np.ndarray) -> np.ndarray:
+        """Real + imaginary parts as one (2, ndof) multi-RHS sweep."""
+        solver = self.p_solvers[i]
+        block = np.stack([rhs.real, rhs.imag])
+        if isinstance(solver, CondensedOperator):
+            out = solver.solve(block, np.zeros(1))
+        else:
+            out = solver.solve_rhs(block, solver.bc_values(None))
+        return out[0] + 1j * out[1]
+
+    def _solve_viscous_block(
+        self,
+        i: int,
+        rhs_u: np.ndarray,
+        rhs_v: np.ndarray,
+        rhs_w: np.ndarray,
+        gamma0: float,
+        t_new: float,
+    ) -> None:
+        """All six real Helmholtz solves of one mode (u, v, w x re/im)
+        as a single (6, ndof) multi-RHS sweep through the shared
+        factorisation."""
+        solver = self._viscous_solver(i, gamma0)
+        block = np.stack(
+            [
+                rhs_u.real,
+                rhs_u.imag,
+                rhs_v.real,
+                rhs_v.imag,
+                rhs_w.real,
+                rhs_w.imag,
+            ]
+        )
+        bcs = [self._bc_values(comp, i, t_new) for comp in range(3)]
+        if bcs[0] is None:
+            dv = None
+        else:
+            dv = np.stack(
+                [
+                    bcs[0].real,
+                    bcs[0].imag,
+                    bcs[1].real,
+                    bcs[1].imag,
+                    bcs[2].real,
+                    bcs[2].imag,
+                ]
+            )
+        out = solver.solve_rhs(block, dv)
+        self.u_hat[i] = out[0] + 1j * out[1]
+        self.v_hat[i] = out[2] + 1j * out[3]
+        self.w_hat[i] = out[4] + 1j * out[5]
 
     # Complex-valued mode arithmetic: the real-only d-BLAS kernels cannot
     # hold it, so the matvecs stay raw numpy and the complex flop

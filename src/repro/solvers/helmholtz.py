@@ -23,7 +23,7 @@ import numpy as np
 from ..assembly.condensation import CondensedOperator
 from ..assembly.global_system import AssembledOperator, project_dirichlet
 from ..assembly.space import FunctionSpace
-from ..linalg.cg import pcg
+from ..linalg.cg import pcg, pcg_block
 
 __all__ = ["HelmholtzDirect", "HelmholtzCG", "solve_poisson"]
 
@@ -99,7 +99,13 @@ class HelmholtzDirect(_HelmholtzBase):
     def solve_rhs(
         self, rhs: np.ndarray, dirichlet_values: np.ndarray | None = None
     ) -> np.ndarray:
-        """Solve with a pre-assembled global load vector (NS inner loop)."""
+        """Solve with a pre-assembled global load vector (NS inner loop).
+
+        ``rhs`` may be a single (ndof,) vector or a row-stacked
+        (nrhs, ndof) block — the operator layer runs stacked blocks
+        through the batched condense / blocked banded sweep, charging
+        exactly nrhs single-RHS solves.
+        """
         return self.op.solve(rhs, dirichlet_values)
 
 
@@ -124,6 +130,8 @@ class HelmholtzCG(_HelmholtzBase):
 
     def solve_rhs(self, rhs, dirichlet_values=None) -> np.ndarray:
         rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.ndim == 2:
+            return self._solve_rhs_many(rhs, dirichlet_values)
         if self.dirichlet_dofs.size:
             if dirichlet_values is None:
                 dirichlet_values = np.zeros(self.dirichlet_dofs.size)
@@ -147,6 +155,44 @@ class HelmholtzCG(_HelmholtzBase):
         u[self.free] = res.x
         if self.dirichlet_dofs.size:
             u[self.dirichlet_dofs] = dirichlet_values
+        return u
+
+    def _solve_rhs_many(self, rhs: np.ndarray, dirichlet_values) -> np.ndarray:
+        """Row-stacked multi-RHS path: one block-Jacobi-PCG sweep whose
+        per-column iterates and charges match ``nrhs`` solo solves."""
+        nrhs = rhs.shape[0]
+        dv = None
+        if self.dirichlet_dofs.size:
+            nd = self.dirichlet_dofs.size
+            if dirichlet_values is None:
+                dv = np.zeros((nrhs, nd))
+            else:
+                dv = np.asarray(dirichlet_values, dtype=np.float64)
+                if dv.ndim == 1:
+                    dv = np.broadcast_to(dv, (nrhs, nd))
+                if dv.shape != (nrhs, nd):
+                    raise ValueError("dirichlet_values shape mismatch")
+            b = rhs[:, self.free] - (self.a_uk @ dv.T).T
+        else:
+            b = rhs[:, self.free]
+        results = pcg_block(
+            lambda v: self.a_uu @ v,
+            b,
+            self.diag,
+            tol=self.tol,
+            maxiter=self.maxiter,
+        )
+        bad = [res for res in results if not res.converged]
+        if bad:
+            raise RuntimeError(
+                f"CG failed to converge: residual {bad[0].residual:.3e} "
+                f"after {bad[0].iterations} iterations"
+            )
+        self.last_iterations = max(res.iterations for res in results)
+        u = np.zeros((nrhs, self.space.ndof))
+        u[:, self.free] = np.stack([res.x for res in results])
+        if dv is not None:
+            u[:, self.dirichlet_dofs] = dv
         return u
 
 

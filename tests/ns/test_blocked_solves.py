@@ -1,0 +1,107 @@
+"""Golden regression: the blocked multi-RHS solve engine is invisible.
+
+NekTar-F with ``blocked_solves=True`` must produce the same trajectory
+as the per-mode reference path, charge the same per-step OpCounter
+totals (total and per label), and leave the virtual-machine per-stage
+cost model — the source of the Table 2 times and the Figure 13-14
+stage-percentage breakdowns — exactly unchanged.
+"""
+
+import numpy as np
+
+from repro.assembly.space import FunctionSpace
+from repro.linalg.counters import OpCounter
+from repro.machines.catalog import CPUS
+from repro.machines.network import NetworkModel
+from repro.mesh.generators import bluff_body_mesh
+from repro.ns.nektar_f import NekTarF
+from repro.ns.stages import STAGES
+from repro.parallel.simmpi import VirtualCluster
+
+from .test_nektar_f import Beltrami
+
+NET = NetworkModel("t", latency_us=5, bandwidth=1e9)
+
+
+def _solver_pair(comm, mesh, order, nz, bcs, **kw):
+    space = FunctionSpace(mesh, order, batched=True)
+    return {
+        blocked: NekTarF(
+            comm, space, nz=nz, nu=0.1, dt=5e-3, velocity_bcs=bcs,
+            blocked_solves=blocked, **kw,
+        )
+        for blocked in (True, False)
+    }
+
+
+def test_blocked_step_matches_reference_with_identical_charges():
+    """Per-step fields and charges match the per-mode path, including
+    the order-1 startup step and the gamma0 switch at second order."""
+    bel = Beltrami(nu=0.1)
+    mesh = bluff_body_mesh(m=3, nr=1)
+    tags = ("inflow", "outflow", "side", "wall")
+
+    def rank_fn(comm):
+        bcs = {t: (bel.u_amp, bel.v_amp, bel.w_amp) for t in tags}
+        pair = _solver_pair(comm, mesh, 5, 8, bcs, time_order=2)
+        for nf in pair.values():
+            nf.set_initial(bel.u_amp, bel.v_amp, bel.w_amp)
+        out = []
+        for _ in range(3):
+            charges = {}
+            for blocked, nf in pair.items():
+                with OpCounter() as c:
+                    nf.step()
+                charges[blocked] = (
+                    c.flops,
+                    c.bytes,
+                    {k: v[:2] for k, v in c.by_label.items()},
+                )
+            out.append(charges)
+        fields = {
+            b: (nf.u_hat, nf.v_hat, nf.w_hat, nf.p_hat)
+            for b, nf in pair.items()
+        }
+        return out, fields
+
+    per_step, fields = VirtualCluster(1, NET).run(rank_fn)[0]
+    for charges in per_step:
+        assert charges[True] == charges[False]
+    for fb, fr in zip(fields[True], fields[False]):
+        scale = float(np.max(np.abs(fr))) or 1.0
+        np.testing.assert_allclose(
+            fb, fr, rtol=0.0, atol=1e-11 * max(1.0, scale)
+        )
+
+
+def test_blocked_solves_leave_stage_cost_model_unchanged():
+    """Virtual per-stage CPU/wall times (Figure 13-14's breakdown, and
+    through the pricing layer Table 2's per-step times) are derived from
+    the charged ops, so they must be bit-identical across paths."""
+    bel = Beltrami(nu=0.1)
+    mesh = bluff_body_mesh(m=3, nr=1)
+    tags = ("inflow", "outflow", "side", "wall")
+
+    def rank_fn(comm):
+        bcs = {t: (bel.u_amp, bel.v_amp, bel.w_amp) for t in tags}
+        pair = _solver_pair(comm, mesh, 5, 8, bcs, charge_compute=True)
+        for nf in pair.values():
+            nf.set_initial(bel.u_amp, bel.v_amp, bel.w_amp)
+            nf.run(2)
+        return {
+            b: (
+                {s: (r.cpu, r.wall) for s, r in nf.virtual.records.items()},
+                nf.stage_percentages("cpu"),
+            )
+            for b, nf in pair.items()
+        }
+
+    res = VirtualCluster(1, NET, cpu=CPUS["pentium-ii-450"]).run(rank_fn)[0]
+    records_b, pct_b = res[True]
+    records_r, pct_r = res[False]
+    assert set(records_b) == set(STAGES)
+    # The blocked path makes fewer (bigger) charge calls, so the priced
+    # seconds accumulate in a different order: equal to round-off only.
+    for s in STAGES:
+        np.testing.assert_allclose(records_b[s], records_r[s], rtol=1e-12)
+        np.testing.assert_allclose(pct_b[s], pct_r[s], rtol=1e-9)
