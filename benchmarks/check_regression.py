@@ -1,0 +1,135 @@
+"""BENCH_*.json regression checker.
+
+Compares a freshly produced benchmark report against a committed
+baseline with per-metric tolerances:
+
+* **timing metrics** (keys ending in ``_s`` or containing ``speedup``)
+  are machine-dependent — drift is reported as a WARNING only, gated by
+  a generous relative tolerance;
+* **accounting metrics** (``flops``, ``bytes``, call counts,
+  ``charges_identical``, the ``config`` block) are deterministic
+  properties of the code — any drift is a HARD FAILURE, because it
+  means the op-counted cost model silently changed.
+
+Usage::
+
+    python benchmarks/check_regression.py FRESH.json BASELINE.json
+        [--timing-rtol 0.5]
+
+Exit status 0 when no hard failures (warnings allowed), 1 otherwise.
+The committed smoke baselines live in ``benchmarks/baselines/``; CI
+regenerates the fresh reports with ``--smoke`` and compares
+smoke-vs-smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+__all__ = ["compare", "main"]
+
+# Timing keys: machine-dependent, warn-only.
+TIMING_SUFFIXES = ("_s",)
+TIMING_SUBSTRINGS = ("speedup",)
+
+
+def is_timing_key(key: str) -> bool:
+    return key.endswith(TIMING_SUFFIXES) or any(
+        s in key for s in TIMING_SUBSTRINGS
+    )
+
+
+def _walk(fresh, baseline, path, warnings, failures, timing_rtol):
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            failures.append(f"{path}: expected mapping, got {type(fresh).__name__}")
+            return
+        for key in baseline:
+            if key not in fresh:
+                failures.append(f"{path}.{key}: missing from fresh report")
+                continue
+            _walk(
+                fresh[key],
+                baseline[key],
+                f"{path}.{key}",
+                warnings,
+                failures,
+                timing_rtol,
+            )
+        for key in fresh:
+            if key not in baseline:
+                warnings.append(f"{path}.{key}: new metric (not in baseline)")
+        return
+
+    leaf = path.rsplit(".", 1)[-1]
+    if isinstance(baseline, (int, float)) and not isinstance(baseline, bool):
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            failures.append(f"{path}: {baseline!r} -> {fresh!r} (type change)")
+            return
+        if is_timing_key(leaf):
+            ref = abs(baseline)
+            drift = abs(fresh - baseline) / ref if ref > 0 else abs(fresh)
+            if drift > timing_rtol:
+                warnings.append(
+                    f"{path}: timing drift {baseline:.4g} -> {fresh:.4g} "
+                    f"({100.0 * drift:.0f}% > {100.0 * timing_rtol:.0f}% rtol)"
+                )
+        elif not math.isclose(fresh, baseline, rel_tol=0.0, abs_tol=0.0):
+            failures.append(
+                f"{path}: deterministic metric changed "
+                f"{baseline!r} -> {fresh!r}"
+            )
+        return
+    if fresh != baseline:
+        failures.append(f"{path}: {baseline!r} -> {fresh!r}")
+
+
+def compare(
+    fresh: dict, baseline: dict, timing_rtol: float = 0.5
+) -> tuple[list[str], list[str]]:
+    """Returns (warnings, failures)."""
+    warnings: list[str] = []
+    failures: list[str] = []
+    _walk(fresh, baseline, "$", warnings, failures, timing_rtol)
+    return warnings, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--timing-rtol",
+        type=float,
+        default=0.5,
+        help="relative tolerance before a timing drift WARNING (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    warnings, failures = compare(fresh, baseline, timing_rtol=args.timing_rtol)
+
+    for w in warnings:
+        print(f"WARNING: {w}")
+    for f in failures:
+        print(f"FAILURE: {f}")
+    if failures:
+        print(
+            f"{args.fresh} vs {args.baseline}: "
+            f"{len(failures)} hard failure(s), {len(warnings)} warning(s)"
+        )
+        return 1
+    print(
+        f"{args.fresh} vs {args.baseline}: OK "
+        f"({len(warnings)} timing warning(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Unit tests for the BENCH_*.json regression checker (tier-2)."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from check_regression import compare, is_timing_key, main  # noqa: E402
+
+BASELINE = {
+    "config": {"elements": 24, "order": 5, "smoke": True},
+    "ops": {
+        "backward": {
+            "batched_s": 1.0e-3,
+            "per_element_s": 4.0e-3,
+            "speedup": 4.0,
+            "flops": 1000.0,
+            "bytes": 8000.0,
+        }
+    },
+    "charges_identical": True,
+    "total_speedup": 4.0,
+}
+
+
+def test_timing_key_classification():
+    assert is_timing_key("batched_s")
+    assert is_timing_key("step_reference_s")
+    assert is_timing_key("total_speedup")
+    assert is_timing_key("speedup")
+    assert not is_timing_key("flops")
+    assert not is_timing_key("bytes")
+    assert not is_timing_key("elements")
+    assert not is_timing_key("charges_identical")
+
+
+def test_identical_reports_pass():
+    warnings, failures = compare(BASELINE, BASELINE)
+    assert warnings == [] and failures == []
+
+
+def test_timing_drift_warns_only():
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh["ops"]["backward"]["batched_s"] *= 10.0
+    warnings, failures = compare(fresh, BASELINE)
+    assert failures == []
+    assert any("batched_s" in w for w in warnings)
+    # Within tolerance: silent.
+    fresh["ops"]["backward"]["batched_s"] = 1.2e-3
+    warnings, failures = compare(fresh, BASELINE, timing_rtol=0.5)
+    assert warnings == [] and failures == []
+
+
+def test_charge_drift_hard_fails():
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh["ops"]["backward"]["flops"] += 1.0
+    _warnings, failures = compare(fresh, BASELINE)
+    assert any("flops" in f for f in failures)
+
+
+def test_config_and_flag_drift_hard_fail():
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh["config"]["elements"] = 25
+    fresh["charges_identical"] = False
+    _warnings, failures = compare(fresh, BASELINE)
+    assert any("elements" in f for f in failures)
+    assert any("charges_identical" in f for f in failures)
+
+
+def test_missing_and_new_metrics():
+    fresh = json.loads(json.dumps(BASELINE))
+    del fresh["ops"]["backward"]["flops"]
+    fresh["ops"]["backward"]["new_metric"] = 1.0
+    warnings, failures = compare(fresh, BASELINE)
+    assert any("missing" in f for f in failures)
+    assert any("new metric" in w for w in warnings)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(BASELINE))
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh["ops"]["backward"]["speedup"] = 1.0  # timing: warn only
+    ok = tmp_path / "ok.json"
+    ok.write_text(json.dumps(fresh))
+    assert main([str(ok), str(base)]) == 0
+    assert "WARNING" in capsys.readouterr().out
+    fresh["ops"]["backward"]["bytes"] = 1.0  # accounting: hard fail
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(fresh))
+    assert main([str(bad), str(base)]) == 1
+    assert "FAILURE" in capsys.readouterr().out
+
+
+def test_committed_smoke_baselines_exist():
+    base_dir = Path(__file__).parent / "baselines"
+    for name in ("BENCH_batched_smoke.json", "BENCH_solve_smoke.json"):
+        doc = json.loads((base_dir / name).read_text())
+        assert doc["config"]["smoke"] is True
+        assert doc["charges_identical"] is True

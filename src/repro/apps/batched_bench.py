@@ -45,7 +45,7 @@ def _charges(fn):
     """OpCounter flop/byte totals of one run (also serves as warm-up)."""
     with OpCounter() as c:
         fn()
-    return c.flops, c.bytes
+    return c.snapshot().totals()
 
 
 def run_bench(smoke: bool = False, repeats: int = 5) -> dict:

@@ -66,12 +66,6 @@ def _steady_bluff_bcs():
     }
 
 
-def _label_charges(counter: OpCounter) -> dict:
-    """Per-label (flops, bytes), dropping the call counts — the blocked
-    path legitimately makes fewer (bigger) calls for the same work."""
-    return {k: tuple(v[:2]) for k, v in counter.by_label.items()}
-
-
 def _step_timed(nf: NekTarF):
     """One timestep; returns (per-stage wall deltas, charges)."""
     before = {s: nf.timer.records[s].wall if s in nf.timer.records else 0.0
@@ -81,7 +75,10 @@ def _step_timed(nf: NekTarF):
         nf.step()
     total = time.perf_counter() - t0
     deltas = {s: nf.timer.records[s].wall - before[s] for s in SOLVE_STAGES}
-    return deltas, total, (c.flops, c.bytes), _label_charges(c)
+    # label_charges() drops call counts: the blocked path legitimately
+    # makes fewer (bigger) calls for the same work.
+    snap = c.snapshot()
+    return deltas, total, snap.totals(), snap.label_charges()
 
 
 def run_bench(smoke: bool = False, repeats: int = 3) -> dict:

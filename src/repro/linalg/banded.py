@@ -28,6 +28,7 @@ import numpy as np
 import scipy.linalg as sla
 from scipy.linalg import get_lapack_funcs
 
+from ..obs import metrics
 from .counters import charge
 
 __all__ = ["bandwidth", "to_banded", "BandedSPDSolver"]
@@ -177,7 +178,10 @@ class BandedSPDSolver:
         """L L^T X = B over a row-stacked (nrhs, n) block, Level-3 per-block:
         dtrsm on the diagonal block, wide dgemm on the sub-diagonal slab."""
         if self._blocks is None:
+            metrics.inc("slab_cache.misses")
             self._build_blocks()
+        else:
+            metrics.inc("slab_cache.hits")
         (trtrs,) = get_lapack_funcs(("trtrs",), (self._cb,))
         m = _BLOCK_M
         x = np.ascontiguousarray(bt).copy()

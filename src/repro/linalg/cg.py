@@ -18,6 +18,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import metrics
+from ..obs import tracer as obs
 from . import blas
 
 __all__ = ["CGResult", "pcg", "pcg_block"]
@@ -31,6 +33,27 @@ class CGResult:
     iterations: int
     residual: float
     converged: bool
+
+
+def _observe(res: CGResult) -> CGResult:
+    """Report one finished solve to the observability layer.
+
+    Pure observation — charges nothing, so metrics/tracing on vs off
+    leaves the OpCounter accounting byte-identical.
+    """
+    metrics.inc("pcg.solves")
+    metrics.observe("pcg.iterations", res.iterations)
+    metrics.set_gauge("pcg.last_residual", res.residual)
+    if not res.converged:
+        metrics.inc("pcg.unconverged")
+    obs.instant(
+        "pcg",
+        "pcg",
+        iterations=res.iterations,
+        residual=float(res.residual),
+        converged=res.converged,
+    )
+    return res
 
 
 def pcg(
@@ -76,12 +99,12 @@ def pcg(
 
     bnorm = blas.dnrm2(b)
     if bnorm == 0.0:
-        return CGResult(np.zeros(n), 0, 0.0, True)
+        return _observe(CGResult(np.zeros(n), 0, 0.0, True))
 
     resid = blas.dnrm2(r) / bnorm
     for it in range(1, maxiter + 1):
         if resid <= tol:
-            return CGResult(x, it - 1, resid, True)
+            return _observe(CGResult(x, it - 1, resid, True))
         ap = apply_a(p)
         pap = dot(p, ap)
         if pap <= 0.0:
@@ -98,7 +121,7 @@ def pcg(
         blas.daxpy(1.0, z, p)
         resid = blas.dnrm2(r) / bnorm
 
-    return CGResult(x, maxiter, resid, resid <= tol)
+    return _observe(CGResult(x, maxiter, resid, resid <= tol))
 
 
 def pcg_block(
@@ -144,7 +167,7 @@ def pcg_block(
     bnorm = np.array([blas.dnrm2(b[j]) for j in range(nrhs)])
     idx = np.arange(nrhs)
     for j in np.nonzero(bnorm == 0.0)[0]:
-        results[j] = CGResult(np.zeros(n), 0, 0.0, True)
+        results[j] = _observe(CGResult(np.zeros(n), 0, 0.0, True))
 
     def compact(keep: np.ndarray):
         nonlocal x, r, z, p, rz, bnorm, idx
@@ -162,7 +185,9 @@ def pcg_block(
         conv = resid <= tol
         if np.any(conv):
             for j in np.nonzero(conv)[0]:
-                results[idx[j]] = CGResult(x[j].copy(), it - 1, resid[j], True)
+                results[idx[j]] = _observe(
+                    CGResult(x[j].copy(), it - 1, resid[j], True)
+                )
             compact(~conv)
             resid = resid[~conv]
             if idx.size == 0:
@@ -188,7 +213,7 @@ def pcg_block(
         ) / bnorm
 
     for j in range(idx.size):
-        results[idx[j]] = CGResult(
-            x[j].copy(), maxiter, resid[j], bool(resid[j] <= tol)
+        results[idx[j]] = _observe(
+            CGResult(x[j].copy(), maxiter, resid[j], bool(resid[j] <= tol))
         )
     return results  # type: ignore[return-value]

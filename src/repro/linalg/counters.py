@@ -12,8 +12,41 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 _tls = threading.local()
+
+SamplerFn = Callable[[float, float, str], None]
+
+
+@dataclass(frozen=True)
+class OpSnapshot:
+    """Immutable copy of an :class:`OpCounter`'s state at one instant.
+
+    Produced by :meth:`OpCounter.snapshot` and :meth:`OpCounter.delta`;
+    the accessor helpers replace the ad-hoc dict building the bench
+    harnesses used to copy-paste.
+    """
+
+    flops: float
+    bytes: float
+    calls: int
+    by_label: dict[str, tuple[float, float, int]]
+
+    def totals(self) -> tuple[float, float]:
+        """(flops, bytes) — the whole-run charge pair."""
+        return (self.flops, self.bytes)
+
+    def label_charges(self, with_calls: bool = False) -> dict:
+        """Per-label charges: ``{label: (flops, bytes[, calls])}``.
+
+        ``with_calls=False`` (the default) drops call counts — the
+        comparison the multi-RHS benches need, since a blocked path
+        legitimately makes fewer (bigger) calls for the same work.
+        """
+        if with_calls:
+            return dict(self.by_label)
+        return {k: (v[0], v[1]) for k, v in self.by_label.items()}
 
 
 @dataclass
@@ -47,6 +80,33 @@ class OpCounter:
                 node.by_label[label] = (f + flops, b + nbytes, c + 1)
             node = node._parent
 
+    def snapshot(self) -> OpSnapshot:
+        """Immutable copy of the current totals and per-label charges."""
+        return OpSnapshot(
+            flops=self.flops,
+            bytes=self.bytes,
+            calls=self.calls,
+            by_label=dict(self.by_label),
+        )
+
+    def delta(self, since: OpSnapshot) -> OpSnapshot:
+        """Charges accumulated after ``since`` (an earlier snapshot).
+
+        Labels whose charges did not change are dropped, so the result
+        reads like a fresh counter covering just the interval.
+        """
+        by_label: dict[str, tuple[float, float, int]] = {}
+        for label, (f, b, c) in self.by_label.items():
+            f0, b0, c0 = since.by_label.get(label, (0.0, 0.0, 0))
+            if (f, b, c) != (f0, b0, c0):
+                by_label[label] = (f - f0, b - b0, c - c0)
+        return OpSnapshot(
+            flops=self.flops - since.flops,
+            bytes=self.bytes - since.bytes,
+            calls=self.calls - since.calls,
+            by_label=by_label,
+        )
+
     def __enter__(self) -> "OpCounter":
         prev = getattr(_tls, "active", None)
         self._saved.append(prev)
@@ -67,8 +127,23 @@ def active_counter() -> OpCounter | None:
     return getattr(_tls, "active", None)
 
 
+def set_kernel_sampler(sampler: SamplerFn | None) -> None:
+    """Install a read-only observer of module-level :func:`charge` calls.
+
+    Used by :mod:`repro.obs.tracer` to sample BLAS kernel charges onto
+    rank timelines.  The sampler sees ``(flops, nbytes, label)`` after
+    the counter has been charged and must not charge anything itself —
+    tracing enabled vs disabled leaves every OpCounter byte-identical
+    (property-tested).  Thread-local, like the active counter.
+    """
+    _tls.sampler = sampler
+
+
 def charge(flops: float, nbytes: float, label: str = "") -> None:
     """Charge ops to the active counter (no-op when none is active)."""
     counter = active_counter()
     if counter is not None:
         counter.charge(flops, nbytes, label)
+    sampler = getattr(_tls, "sampler", None)
+    if sampler is not None:
+        sampler(flops, nbytes, label)

@@ -39,6 +39,8 @@ from ..assembly.space import FunctionSpace
 from ..fourier.mapping import transpose_to_modes, transpose_to_points
 from ..fourier.transforms import fft_z, ifft_z, mode_blocks, nmodes_for, wavenumbers
 from ..linalg.counters import OpCounter, charge
+from ..obs import metrics
+from ..obs import tracer as obs
 from ..parallel.simmpi import VirtualComm
 from ..solvers.helmholtz import HelmholtzDirect
 from ..util.timing import StageTimer
@@ -232,7 +234,9 @@ class NekTarF:
             return None
         hit = self._bc_cache.get((comp, mode_i))
         if hit is not None and (hit[0] is None or hit[0] == t):
+            metrics.inc("bc_cache.hits")
             return hit[1]
+        metrics.inc("bc_cache.misses")
         m = self.my_modes[mode_i]
         re: dict[int, float] = {}
         im: dict[int, float] = {}
@@ -260,7 +264,10 @@ class NekTarF:
         lam = gamma0 / (self.nu * self.dt) + k * k
         key = (mode_i, round(lam, 9))
         if key not in self._visc_cache:
+            metrics.inc("visc_cache.misses")
             self._visc_cache[key] = HelmholtzDirect(self.space, lam, self.vel_tags)
+        else:
+            metrics.inc("visc_cache.hits")
         return self._visc_cache[key]
 
     # -- the timestep ------------------------------------------------------------------
@@ -583,8 +590,22 @@ class _StageScope:
         self._host.__exit__(*exc)
         if self.solver.charge_compute:
             self.solver.comm.compute_flops(self._ops.flops)
-        self.solver.virtual.add(
-            self.name,
-            cpu=self.solver.comm.cpu_time - self._c0,
-            wall=self.solver.comm.wall - self._w0,
-        )
+        cpu = self.solver.comm.cpu_time - self._c0
+        wall = self.solver.comm.wall - self._w0
+        self.solver.virtual.add(self.name, cpu=cpu, wall=wall)
+        tracer = obs.current()
+        if tracer is not None:
+            # Emitted after compute_flops so the span covers the priced
+            # compute; timestamps are the rank's virtual wall clock.
+            tracer.emit_span(
+                self.name,
+                "stage",
+                self._w0,
+                self.solver.comm.wall,
+                {
+                    "cpu": cpu,
+                    "wall": wall,
+                    "flops": self._ops.flops,
+                    "bytes": self._ops.bytes,
+                },
+            )

@@ -1,0 +1,66 @@
+"""repro.obs — unified tracing & metrics layer.
+
+One subsystem for every measurement signal the reproduction produces
+(DESIGN.md section 11):
+
+* :mod:`repro.obs.tracer` — thread-local nestable span tracer; rank
+  timelines in virtual (``MPI_Wtime``) or host time;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms (message
+  sizes, PCG iterations, cache-hit rates);
+* :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON
+  exporter and the report-side re-importer.
+
+The emit helpers are zero-cost no-ops when nothing is installed and
+never charge the ambient OpCounter, so instrumentation cannot perturb
+the flop/byte accounting it reports on.
+"""
+
+from .export import (
+    idle_by_peer,
+    load_chrome_trace,
+    stage_breakdown,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import (
+    MetricsRegistry,
+    active_registry,
+    hit_rate,
+    inc,
+    observe,
+    set_gauge,
+    use_registry,
+)
+from .tracer import (
+    Trace,
+    TraceEvent,
+    Tracer,
+    current,
+    emit_span,
+    install,
+    instant,
+    span,
+)
+
+__all__ = [
+    "Trace",
+    "TraceEvent",
+    "Tracer",
+    "current",
+    "emit_span",
+    "install",
+    "instant",
+    "span",
+    "MetricsRegistry",
+    "active_registry",
+    "hit_rate",
+    "inc",
+    "observe",
+    "set_gauge",
+    "use_registry",
+    "idle_by_peer",
+    "load_chrome_trace",
+    "stage_breakdown",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

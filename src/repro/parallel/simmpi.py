@@ -56,6 +56,8 @@ import numpy as np
 
 from ..machines.cpu import CPUModel
 from ..machines.network import NetworkModel
+from ..obs import metrics
+from ..obs import tracer as obs
 
 __all__ = [
     "CommVerificationError",
@@ -171,6 +173,7 @@ class VirtualCluster:
         procs_per_node: int = 1,
         intranode: NetworkModel | None = None,
         verify: bool = True,
+        trace: obs.Trace | None = None,
     ):
         if nprocs < 1:
             raise ValueError("need at least one rank")
@@ -180,6 +183,7 @@ class VirtualCluster:
         self.procs_per_node = max(1, procs_per_node)
         self.intranode = intranode
         self.verify = verify
+        self.trace = trace
         self._lock = threading.Condition()
         self._mailbox: dict[tuple[int, int, int], deque] = {}
         self._collectives: dict[tuple[str, int], _Collective] = {}
@@ -200,7 +204,24 @@ class VirtualCluster:
 
     # -- verification -----------------------------------------------------------
 
-    def _rank_traces(self, ranks=None) -> dict[int, list[str]]:
+    def rank_traces(self, ranks=None) -> dict[int, list[str]]:
+        """Most recent communication events per rank, oldest first.
+
+        Public, stable API shared by the finalize-time comm verifier
+        (attached to :class:`CommVerificationError`) and the trace
+        exporter (attached to each rank's thread metadata in the Chrome
+        trace JSON).  Each rank keeps a bounded ring of the last
+        ``_TRACE_LEN`` events; the event strings are:
+
+        * ``"send -> D tag=T (NB)"`` — point-to-point send to rank D,
+          N payload bytes;
+        * ``"recv <- S tag=T (NB)"`` — completed receive from rank S;
+        * ``"KIND #SEQ"`` — collective entry (``barrier``,
+          ``alltoall``, ``allreduce-OP``, ``bcast``, ``gather``,
+          ``allgather``), with its per-kind sequence number;
+        * ``"BLOCKED: DESC"`` — appended by the deadlock detector to
+          each rank blocked at abort time.
+        """
         ranks = range(self.nprocs) if ranks is None else ranks
         return {r: list(self.ranks[r].trace) for r in ranks}
 
@@ -228,7 +249,7 @@ class VirtualCluster:
             blocked.append((r, entry[0]))
         problems = ["deadlock: every live rank is blocked"]
         problems.extend(f"rank {r} blocked in {desc}" for r, desc in blocked)
-        traces = self._rank_traces([r for r, _ in blocked])
+        traces = self.rank_traces([r for r, _ in blocked])
         for r, desc in blocked:
             traces[r] = traces.get(r, []) + [f"BLOCKED: {desc}"]
         self._deadlock = CommVerificationError(problems, traces)
@@ -297,7 +318,7 @@ class VirtualCluster:
                 f"{recvd:.0f} bytes received cluster-wide ({per_rank})"
             )
         if problems:
-            raise CommVerificationError(problems, self._rank_traces())
+            raise CommVerificationError(problems, self.rank_traces())
 
     # -- execution ----------------------------------------------------------------
 
@@ -315,8 +336,16 @@ class VirtualCluster:
 
             def work(comm=comm):
                 st = self.ranks[comm.rank]
+                tracer = (
+                    None
+                    if self.trace is None
+                    else self.trace.rank_tracer(
+                        comm.rank, clock=lambda: st.wall
+                    )
+                )
                 try:
-                    st.result = fn(comm, *args, **kwargs)
+                    with obs.install(tracer):
+                        st.result = fn(comm, *args, **kwargs)
                 except BaseException as exc:  # propagate to caller
                     st.error = exc
                 finally:
@@ -411,12 +440,25 @@ class VirtualComm:
             key = (self.rank, dest, tag)
             cl._mailbox.setdefault(key, deque()).append((obj, ready, nbytes))
             cl._lock.notify_all()
+        tracer = obs.current()
+        if tracer is not None:
+            tracer.emit_span(
+                f"send -> {dest}",
+                "comm",
+                t_start,
+                self._st.wall,
+                {"bytes": nbytes, "tag": tag, "dest": dest},
+            )
+        metrics.observe("comm.message_bytes", nbytes)
+        metrics.inc("comm.sends")
+        metrics.inc("comm.bytes_sent", nbytes)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         if not 0 <= source < self.size or source == self.rank:
             raise ValueError(f"bad source {source}")
         cl = self.cluster
         key = (source, self.rank, tag)
+        t_entry = self._st.wall
         with cl._lock:
             cl._blocking_wait(
                 self.rank,
@@ -435,6 +477,29 @@ class VirtualComm:
         # near-equal CPU/wall columns on vendor MPIs and GM).
         self._st.cpu += overhead + net.busy_wait_fraction * waited
         self._st.recv_bytes += nbytes
+        tracer = obs.current()
+        if tracer is not None:
+            if waited > 0.0:
+                tracer.emit_span(
+                    f"wait: recv <- {source}",
+                    "idle",
+                    t_entry,
+                    t_entry + waited,
+                    {
+                        "bytes": nbytes,
+                        "source": source,
+                        "busy_wait_fraction": net.busy_wait_fraction,
+                    },
+                )
+            tracer.emit_span(
+                f"recv <- {source}",
+                "comm",
+                t_entry,
+                self._st.wall,
+                {"bytes": nbytes, "tag": tag, "source": source, "waited": waited},
+            )
+        metrics.inc("comm.recvs")
+        metrics.inc("comm.bytes_recv", nbytes)
         return obj
 
     def sendrecv(self, dest: int, obj: Any, source: int, tag: int = 0) -> Any:
@@ -451,6 +516,7 @@ class VirtualComm:
         combine(all_data) -> per-rank output (called once).
         """
         cl = self.cluster
+        t_entry = self._st.wall
         with cl._lock:
             if cl.verify:
                 # My n-th collective must be the same kind as every other
@@ -462,7 +528,7 @@ class VirtualComm:
                         and len(other.coll_kinds) > idx
                         and other.coll_kinds[idx] != kind
                     ):
-                        traces = cl._rank_traces([self.rank, r])
+                        traces = cl.rank_traces([self.rank, r])
                         raise CommVerificationError(
                             [
                                 f"collective ordering mismatch: rank "
@@ -500,11 +566,32 @@ class VirtualComm:
                 )
             coll.released += 1
             out, t_done = coll.out, coll.t_done
+            t_sync = coll.t_start  # final: all ranks have arrived
             if coll.released == coll.expected:
                 del cl._collectives[(key[0], key[1])]
         waited = max(0.0, t_done - self._st.wall)
         self._st.wall = t_done
         self._st.cpu += cl.network.busy_wait_fraction * waited
+        tracer = obs.current()
+        if tracer is not None:
+            if t_sync > t_entry:
+                # Early arrivers wait at the rendezvous for the last rank.
+                tracer.emit_span(
+                    f"wait: {kind}",
+                    "idle",
+                    t_entry,
+                    t_sync,
+                    {"busy_wait_fraction": cl.network.busy_wait_fraction},
+                )
+            tracer.emit_span(
+                kind,
+                "comm",
+                t_entry,
+                t_done,
+                {"seq": seq, "waited": waited},
+            )
+        metrics.inc("comm.collectives")
+        metrics.inc(f"comm.collective.{kind}")
         return out
 
     def barrier(self) -> None:
@@ -528,6 +615,9 @@ class VirtualComm:
         self._st.sent_bytes += nbytes * (self.size - 1)
         self._st.recv_bytes += nbytes * (self.size - 1)
         self._st.messages += self.size - 1
+        metrics.observe("comm.message_bytes", nbytes)
+        metrics.inc("comm.bytes_sent", nbytes * (self.size - 1))
+        metrics.inc("comm.bytes_recv", nbytes * (self.size - 1))
 
         def pricing(t0, data):
             sizes = [

@@ -75,6 +75,23 @@ class StageTimer:
             for name, rec in self.records.items()
         }
 
+    def breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-stage ``{cpu, wall, idle, calls}`` rows.
+
+        ``idle = max(0, wall - cpu)`` is the paper's idle-time
+        attribution (Section 4.2): the CPU/wall gap spent waiting on the
+        network.  This is the table the trace-report CLI renders.
+        """
+        return {
+            name: {
+                "cpu": rec.cpu,
+                "wall": rec.wall,
+                "idle": max(0.0, rec.wall - rec.cpu),
+                "calls": float(rec.calls),
+            }
+            for name, rec in self.records.items()
+        }
+
     def merge(self, other: "StageTimer") -> None:
         for name, rec in other.records.items():
             mine = self.records.setdefault(name, StageRecord(name))

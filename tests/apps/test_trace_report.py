@@ -1,0 +1,100 @@
+"""Acceptance tests for the trace_report CLI and the trace artifact.
+
+The ISSUE's acceptance criteria: a smoke NekTar-F run on the virtual
+cluster produces valid Chrome trace-event JSON with >= 2 rank tracks
+showing stage spans, comm spans, and idle-wait spans; and trace_report
+reproduces the per-stage cpu/wall/idle percentages from the same run.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import trace_report
+from repro.obs import load_chrome_trace, stage_breakdown, write_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    trace, cluster, registry = trace_report.run_traced(steps=2)
+    return trace, cluster, registry
+
+
+@pytest.fixture(scope="module")
+def trace_path(traced_run, tmp_path_factory):
+    trace, cluster, _registry = traced_run
+    path = tmp_path_factory.mktemp("trace") / "TRACE_nektar_f.json"
+    return write_chrome_trace(trace, path, rank_traces=cluster.rank_traces())
+
+
+def test_trace_json_is_valid_chrome_trace(trace_path):
+    doc = json.loads(trace_path.read_text())
+    assert "traceEvents" in doc
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in ("M", "X", "i")
+        if ev["ph"] != "M":
+            assert isinstance(ev["ts"], (int, float))
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0.0
+    # Thread metadata carries the comm-verifier event strings.
+    thread_meta = [
+        e for e in doc["traceEvents"] if e["name"] == "thread_name"
+    ]
+    assert len(thread_meta) >= 2
+    assert any("recent_comm_events" in e["args"] for e in thread_meta)
+
+
+def test_two_rank_tracks_with_all_span_kinds(trace_path):
+    events = load_chrome_trace(trace_path)
+    ranks = {e.rank for e in events}
+    assert len(ranks) >= 2
+    cats_by_rank = {r: set() for r in ranks}
+    for e in events:
+        cats_by_rank[e.rank].add(e.cat)
+    for r in ranks:
+        assert "stage" in cats_by_rank[r], f"rank {r} lacks stage spans"
+        assert "comm" in cats_by_rank[r], f"rank {r} lacks comm spans"
+    assert any("idle" in cats for cats in cats_by_rank.values())
+
+
+def test_report_reproduces_solver_percentages(traced_run, trace_path):
+    """The percentages recovered from the JSON match the solver's own
+    virtual StageTimer to floating-point accuracy."""
+    trace, _cluster, _registry = traced_run
+    events = load_chrome_trace(trace_path)
+    for rank in sorted(trace.tracers):
+        from_file = stage_breakdown(events, rank=rank)
+        in_memory = stage_breakdown(trace.events(), rank=rank)
+        for kind in ("cpu", "wall"):
+            a = from_file.percentages(kind)
+            b = in_memory.percentages(kind)
+            assert a.keys() == b.keys()
+            for stage in a:
+                assert a[stage] == pytest.approx(b[stage], abs=1e-9)
+        # Idle attribution is consistent: wall >= cpu per stage.
+        for row in from_file.breakdown().values():
+            assert row["wall"] + 1e-12 >= row["cpu"]
+
+
+def test_render_report_sections(traced_run, trace_path):
+    _trace, _cluster, registry = traced_run
+    events = load_chrome_trace(trace_path)
+    report = trace_report.render_report(
+        events, machine="RoadRunner", registry=registry
+    )
+    assert "rank tracks" in report
+    assert "idle = wall - cpu" in report
+    assert "Roofline" in report
+    assert "2:nonlinear" in report
+    assert "comm.message_bytes" in report
+    assert "hit rate" in report
+
+
+def test_main_report_only_mode(trace_path, capsys, tmp_path):
+    out = tmp_path / "report.txt"
+    trace_report.main(
+        ["--trace", str(trace_path), "--report-out", str(out)]
+    )
+    captured = capsys.readouterr().out
+    assert "Roofline" in captured
+    assert out.read_text().strip() in captured

@@ -1,0 +1,83 @@
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_and_gauge():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.counter("c").inc(2.5)
+    reg.gauge("g").set(4.0)
+    snap = reg.snapshot()
+    assert snap["c"] == {"type": "counter", "value": 3.5}
+    assert snap["g"] == {"type": "gauge", "value": 4.0}
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1.0)
+
+
+def test_histogram_buckets_and_stats():
+    reg = MetricsRegistry()
+    h = reg.histogram("h")
+    for v in (0.5, 1.0, 3.0, 100.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(104.5)
+    assert h.min == 0.5 and h.max == 100.0
+    assert h.mean == pytest.approx(104.5 / 4)
+    snap = h.snapshot()
+    # 0.5 and 1.0 -> bucket <=1; 3.0 -> (2,4]; 100 -> (64,128].
+    assert snap["buckets"] == {"1": 2, "4": 1, "128": 1}
+
+
+def test_bucket_of_edges():
+    assert Histogram.bucket_of(0.0) == 0
+    assert Histogram.bucket_of(1.0) == 0
+    assert Histogram.bucket_of(2.0) == 1
+    assert Histogram.bucket_of(2.1) == 2
+    assert Histogram.bucket_of(1024.0) == 10
+
+
+def test_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(TypeError):
+        reg.gauge("m")
+
+
+def test_hit_rate():
+    reg = MetricsRegistry()
+    assert reg.hit_rate("cache") is None
+    reg.counter("cache.hits").inc(3)
+    reg.counter("cache.misses").inc(1)
+    assert reg.hit_rate("cache") == pytest.approx(0.75)
+
+
+def test_module_helpers_noop_when_disabled():
+    assert metrics.active_registry() is None
+    metrics.inc("x")
+    metrics.observe("y", 1.0)
+    metrics.set_gauge("z", 2.0)
+    assert metrics.hit_rate("x") is None
+    assert metrics.active_registry() is None
+
+
+def test_use_registry_activates_and_restores():
+    with metrics.use_registry() as reg:
+        assert metrics.active_registry() is reg
+        metrics.inc("n", 2)
+        metrics.observe("h", 8.0)
+        metrics.set_gauge("g", 1.5)
+        inner = MetricsRegistry()
+        with metrics.use_registry(inner):
+            assert metrics.active_registry() is inner
+            metrics.inc("n")
+        assert metrics.active_registry() is reg
+    assert metrics.active_registry() is None
+    assert reg.snapshot()["n"]["value"] == 2.0
+    assert inner.snapshot()["n"]["value"] == 1.0
+    assert metrics.hit_rate("anything") is None

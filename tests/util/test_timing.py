@@ -61,3 +61,45 @@ def test_stage_timer_reset():
     t.reset()
     assert t.records == {}
     assert t.total() == 0.0
+
+
+def test_stage_timer_merge_wall_and_calls():
+    a, b = StageTimer(), StageTimer()
+    a.add("s", cpu=1.0, wall=2.0)
+    b.add("s", cpu=0.5, wall=3.0)
+    b.add("s", cpu=0.5, wall=1.0)
+    a.merge(b)
+    assert a.records["s"].cpu == pytest.approx(2.0)
+    assert a.records["s"].wall == pytest.approx(6.0)
+    assert a.records["s"].calls == 3
+    # Merging an empty timer is a no-op.
+    a.merge(StageTimer())
+    assert a.records["s"].calls == 3
+
+
+def test_stage_timer_percentages_wall_zero_total():
+    t = StageTimer()
+    t.add("x", cpu=1.0, wall=0.0)
+    t.add("y", cpu=3.0, wall=0.0)
+    # cpu percentages are well-defined, wall total is zero -> all 0.0.
+    assert t.percentages("cpu")["y"] == pytest.approx(75.0)
+    assert t.percentages(kind="wall") == {"x": 0.0, "y": 0.0}
+
+
+def test_stage_timer_breakdown():
+    t = StageTimer()
+    t.add("2:nonlinear", cpu=2.0, wall=5.0)
+    t.add("5:solve", cpu=3.0, wall=3.0)
+    bd = t.breakdown()
+    assert bd["2:nonlinear"] == {
+        "cpu": 2.0,
+        "wall": 5.0,
+        "idle": 3.0,
+        "calls": 1.0,
+    }
+    assert bd["5:solve"]["idle"] == 0.0
+    # cpu > wall (host-timer jitter) clamps idle at zero.
+    t2 = StageTimer()
+    t2.add("s", cpu=2.0, wall=1.0)
+    assert t2.breakdown()["s"]["idle"] == 0.0
+    assert StageTimer().breakdown() == {}
