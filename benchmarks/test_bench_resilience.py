@@ -1,0 +1,44 @@
+"""Tier-2 benchmark: fault-injection degradation curves and recovery.
+
+Runs the ``repro.apps.resilience_bench`` smoke harness end to end.  The
+harness itself enforces the acceptance shape — monotone wall inflation
+with loss rate on Fast-Ethernet, exactly flat on Myrinet, and a bitwise
+crash-recovery round trip — so this test asserts report integrity and
+the determinism the committed baseline relies on: every recorded value
+is a virtual-clock or counter quantity, reproducible to the bit.
+"""
+
+import json
+
+from repro.apps import resilience_bench
+
+
+def test_resilience_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_resilience.json"
+    results = resilience_bench.main(["--smoke", "--out", str(out)])
+    on_disk = json.loads(out.read_text())
+    assert on_disk["config"]["smoke"] is True
+    assert set(on_disk["sweep"]) == {"fast-ethernet", "myrinet"}
+
+    eth = on_disk["sweep"]["fast-ethernet"]
+    myr = on_disk["sweep"]["myrinet"]
+    rates = [p["loss_rate"] for p in eth]
+    assert rates == sorted(rates) and rates[0] == 0.0
+    # Lossy TCP pays: strictly increasing wall inflation, retransmit
+    # counters engaged; OS-bypass Myrinet never enters the retransmit
+    # path, so its curve is identically 1.0 with zero counters.
+    infl = [p["wall_inflation"] for p in eth]
+    assert all(b < a for b, a in zip(infl, infl[1:]))
+    assert eth[-1]["retransmits"] > 0 and eth[-1]["retransmitted_bytes"] > 0
+    for p in myr:
+        assert p["wall_inflation"] == 1.0 and p["retransmits"] == 0
+
+    cr = on_disk["crash_restart"]
+    assert cr["recovered_bitwise"] is True
+    assert cr["restart_step"] <= cr["crash_step"]
+    assert cr["survivor_outcome"] == "lost rank 1"
+
+    # Determinism: a second run reproduces the report bit-for-bit —
+    # the property that lets check_regression hard-gate these numbers.
+    again = resilience_bench.run_bench(smoke=True)
+    assert again == results

@@ -7,10 +7,15 @@
   coefficients, time, step count, mesh vertices for ALE runs), so long
   DNS campaigns — "250 hours of CPU time per processor" in the paper's
   production run — can restart.
+* :class:`NekTarFCheckpoint` — per-rank .npz checkpoints of the full
+  NekTar-F time-stepping state (coefficients *and* the stiffly-stable
+  histories), written every ``k`` steps so a crashed parallel run can
+  restart from the last complete set and continue bit-for-bit.
 """
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import numpy as np
@@ -18,7 +23,7 @@ import numpy as np
 from ..assembly.space import FunctionSpace
 from ..mesh.mesh2d import Mesh2D
 
-__all__ = ["write_vtk", "Checkpoint"]
+__all__ = ["write_vtk", "Checkpoint", "NekTarFCheckpoint"]
 
 _VTK_CELL = {3: 5, 4: 9}  # triangle, quad
 
@@ -100,6 +105,106 @@ class Checkpoint:
             verts = data["vertices"]
             if verts.shape == solver.space.mesh.vertices.shape:
                 solver.space.mesh.vertices[:] = verts
+
+
+class NekTarFCheckpoint:
+    """Per-rank .npz checkpoints of the full NekTar-F stepping state.
+
+    Unlike :class:`Checkpoint` (serial, fields only), this serialises
+    everything the multi-step stiffly-stable scheme needs to continue
+    **bit-for-bit**: the four modal coefficient arrays plus the
+    velocity, non-linear-term and vorticity histories (whose lengths
+    also encode the scheme's startup ramp).  One file per rank per
+    checkpointed step; a step is *restartable* only once every rank's
+    file exists, so :meth:`latest_step` reports the newest complete
+    set — a crash mid-write simply leaves an incomplete set that
+    restart skips.
+    """
+
+    HATS = ("u_hat", "v_hat", "w_hat", "p_hat")
+    HISTS = ("_hist_u", "_hist_n", "_hist_w")
+    _NAME = re.compile(r"nektarf_step(\d+)_rank(\d+)\.npz$")
+
+    @staticmethod
+    def path(directory: str | Path, step: int, rank: int) -> Path:
+        return Path(directory) / f"nektarf_step{step:08d}_rank{rank:04d}.npz"
+
+    @staticmethod
+    def save(directory: str | Path, solver) -> Path:
+        """Write this rank's state at the solver's current step."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        data = {h: getattr(solver, h) for h in NekTarFCheckpoint.HATS}
+        data["t"] = np.array(solver.t)
+        data["step_count"] = np.array(solver.step_count)
+        data["my_modes"] = np.asarray(solver.my_modes, dtype=np.int64)
+        for name in NekTarFCheckpoint.HISTS:
+            hist = getattr(solver, name)
+            data[f"{name}_len"] = np.array(len(hist))
+            # Deque iteration order is newest-first; each entry is a
+            # component tuple of same-shape arrays, stacked for storage.
+            for j, entry in enumerate(hist):
+                data[f"{name}_{j}"] = np.stack(entry)
+        path = NekTarFCheckpoint.path(
+            directory, solver.step_count, solver.comm.rank
+        )
+        np.savez(path, **data)
+        return path
+
+    @staticmethod
+    def load(directory: str | Path, solver, step: int | None = None) -> int:
+        """Restore this rank's state in place; returns the step restored.
+
+        ``step=None`` picks the newest complete set in ``directory``.
+        """
+        if step is None:
+            step = NekTarFCheckpoint.latest_step(directory, solver.comm.size)
+            if step is None:
+                raise FileNotFoundError(
+                    f"no complete {solver.comm.size}-rank checkpoint set "
+                    f"in {directory}"
+                )
+        path = NekTarFCheckpoint.path(directory, step, solver.comm.rank)
+        with np.load(path) as data:
+            if data["my_modes"].tolist() != list(solver.my_modes):
+                raise ValueError(
+                    f"checkpoint {path.name} holds modes "
+                    f"{data['my_modes'].tolist()}, solver owns "
+                    f"{list(solver.my_modes)} (rank layout changed?)"
+                )
+            for h in NekTarFCheckpoint.HATS:
+                arr = data[h]
+                if arr.shape != getattr(solver, h).shape:
+                    raise ValueError(
+                        f"checkpoint field {h} has shape {arr.shape}, "
+                        f"solver expects {getattr(solver, h).shape}"
+                    )
+                setattr(solver, h, arr.copy())
+            for name in NekTarFCheckpoint.HISTS:
+                hist = getattr(solver, name)
+                hist.clear()
+                for j in range(int(data[f"{name}_len"])):
+                    stacked = data[f"{name}_{j}"]
+                    hist.append(tuple(c.copy() for c in stacked))
+            solver.t = float(data["t"])
+            solver.step_count = int(data["step_count"])
+        return step
+
+    @staticmethod
+    def latest_step(directory: str | Path, nranks: int) -> int | None:
+        """Newest step for which all ``nranks`` rank files exist."""
+        found: dict[int, set[int]] = {}
+        directory = Path(directory)
+        if not directory.is_dir():
+            return None
+        for p in directory.glob("nektarf_step*_rank*.npz"):
+            m = NekTarFCheckpoint._NAME.match(p.name)
+            if m:
+                found.setdefault(int(m.group(1)), set()).add(int(m.group(2)))
+        complete = [
+            s for s, ranks in found.items() if ranks >= set(range(nranks))
+        ]
+        return max(complete) if complete else None
 
 
 def vertex_velocity_fields(space: FunctionSpace, u_hat, v_hat) -> dict:

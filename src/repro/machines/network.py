@@ -85,9 +85,13 @@ class NetworkModel:
         fabric a round costs one message time; half-duplex doubles it;
         an oversubscribed fabric stretches rounds by the ratio of
         offered load to aggregate capacity.
+
+        A single-rank Alltoall is not free: MPI still performs the
+        local copy, priced as one pass through the protocol stack
+        (:meth:`cpu_time_for_bytes`; zero on OS-bypass networks).
         """
         if nprocs < 2:
-            return 0.0
+            return self.cpu_time_for_bytes(nbytes) if nbytes > 0 else 0.0
         rounds = nprocs - 1
         per_msg = self.send_time(nbytes)
         if not self.full_duplex:

@@ -274,6 +274,9 @@ class NekTarF:
 
     def step(self) -> None:
         comm, space, dt = self.comm, self.space, self.dt
+        # Announce the step boundary to the fault layer (no-op without
+        # a FaultPlan): CrashSpec(at_step=k) fires at the top of step k.
+        comm.mark_step(self.step_count)
         order = max(1, min(self.scheme.order, len(self._hist_u) + 1))
         scheme = stiffly_stable(order)
         t_new = self.t + dt
@@ -515,9 +518,43 @@ class NekTarF:
                 signs = dm.elem_signs[ei]
                 np.add.at(rhs, dm.elem_dofs[ei], signs * local)
 
-    def run(self, nsteps: int) -> None:
+    def run(
+        self,
+        nsteps: int,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | None = None,
+    ) -> None:
+        """Advance ``nsteps`` steps, optionally checkpointing.
+
+        With ``checkpoint_every=k``, each rank writes its state to
+        ``checkpoint_dir`` whenever ``step_count`` is a multiple of k
+        (see :class:`repro.io.NekTarFCheckpoint`).  Checkpoint I/O is
+        host-side and not priced on the virtual clocks.
+        """
+        if (checkpoint_every is None) != (checkpoint_dir is None):
+            raise ValueError(
+                "checkpoint_every and checkpoint_dir must be given together"
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         for _ in range(nsteps):
             self.step()
+            if checkpoint_every and self.step_count % checkpoint_every == 0:
+                self.save_checkpoint(checkpoint_dir)
+
+    def save_checkpoint(self, directory: str) -> None:
+        """Write this rank's full stepping state (see NekTarFCheckpoint)."""
+        from ..io.writers import NekTarFCheckpoint
+
+        NekTarFCheckpoint.save(directory, self)
+
+    def restore_checkpoint(self, directory: str, step: int | None = None) -> int:
+        """Restore from the newest complete checkpoint set (or ``step``);
+        returns the step restored.  Continuation is bit-for-bit on
+        fault-free runs: coefficients and scheme histories both round-trip."""
+        from ..io.writers import NekTarFCheckpoint
+
+        return NekTarFCheckpoint.load(directory, self, step)
 
     # -- diagnostics -----------------------------------------------------------------
 

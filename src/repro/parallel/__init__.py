@@ -1,6 +1,8 @@
-"""Parallel substrate: virtual-time MPI (simmpi) and gather-scatter."""
+"""Parallel substrate: virtual-time MPI (simmpi), fault injection, and
+gather-scatter."""
 
 from .distributed import DistributedHelmholtz
+from .faults import CrashSpec, FaultPlan, RankFailure, RecvTimeout
 from .gs import GatherScatter
 from .simmpi import VirtualCluster, VirtualComm, payload_bytes
 
@@ -10,4 +12,8 @@ __all__ = [
     "GatherScatter",
     "DistributedHelmholtz",
     "payload_bytes",
+    "FaultPlan",
+    "CrashSpec",
+    "RankFailure",
+    "RecvTimeout",
 ]

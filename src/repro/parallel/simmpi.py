@@ -41,6 +41,18 @@ way a debugging MPI layer would:
 Violations raise :class:`CommVerificationError`, which carries the
 structured ``problems`` list and a bounded per-rank ``rank_traces`` of
 the most recent communication events on each rank.
+
+Fault injection
+---------------
+A :class:`~repro.parallel.faults.FaultPlan` passed to
+:class:`VirtualCluster` injects deterministic message loss (priced as
+TCP retransmits on kernel-mediated networks), link degradation,
+per-rank stragglers, and rank crashes.  A crashed rank stops executing;
+surviving ranks observe a typed
+:class:`~repro.parallel.faults.RankFailure` on their next communication
+with it (pending messages it sent earlier still deliver).  With an
+empty plan every fault branch is skipped, so clocks and accounting are
+byte-identical to a cluster constructed without one.
 """
 
 from __future__ import annotations
@@ -58,6 +70,7 @@ from ..machines.cpu import CPUModel
 from ..machines.network import NetworkModel
 from ..obs import metrics
 from ..obs import tracer as obs
+from .faults import CrashSpec, FaultPlan, RankFailure, RecvTimeout
 
 __all__ = [
     "CommVerificationError",
@@ -67,6 +80,11 @@ __all__ = [
 ]
 
 _TRACE_LEN = 64
+# Host-side safety net only: every state change that can satisfy a wait
+# notifies the condition, so this timeout never shapes virtual or host
+# timing — it exists so a lost-wakeup bug degrades to a slow re-check
+# instead of a hang.
+_WAIT_SAFETY_NET_S = 5.0
 
 
 class CommVerificationError(RuntimeError):
@@ -101,6 +119,20 @@ class _PeerFailure(RuntimeError):
     """Secondary failure: this rank aborted because another rank died.
 
     ``VirtualCluster.run`` re-raises the *root* error, not these."""
+
+
+class _InjectedCrash(BaseException):
+    """Control-flow exception killing a rank per the fault plan.
+
+    Deliberately a ``BaseException`` so application-level ``except
+    Exception`` recovery code cannot resurrect a dead rank.  The worker
+    loop absorbs it: an injected crash is part of the simulation, not a
+    host error."""
+
+    def __init__(self, rank: int, when: float):
+        self.rank = rank
+        self.when = when
+        super().__init__(f"rank {rank} crashed at t={when:.6g}")
 
 
 def payload_bytes(obj: Any) -> int:
@@ -143,6 +175,7 @@ class _RankState:
     result: Any = None
     error: BaseException | None = None
     done: bool = False
+    crashed: bool = False
     coll_kinds: list[str] = field(default_factory=list)
     trace: deque = field(default_factory=lambda: deque(maxlen=_TRACE_LEN))
 
@@ -174,6 +207,7 @@ class VirtualCluster:
         intranode: NetworkModel | None = None,
         verify: bool = True,
         trace: obs.Trace | None = None,
+        faults: FaultPlan | None = None,
     ):
         if nprocs < 1:
             raise ValueError("need at least one rank")
@@ -184,11 +218,22 @@ class VirtualCluster:
         self.intranode = intranode
         self.verify = verify
         self.trace = trace
+        self.faults = faults
+        # Empty plan == no plan: every fault branch keys off this being
+        # None, which is what makes the fault layer provably zero-cost.
+        self._plan = None if faults is None or faults.is_empty else faults
         self._lock = threading.Condition()
         self._mailbox: dict[tuple[int, int, int], deque] = {}
         self._collectives: dict[tuple[str, int], _Collective] = {}
         self._coll_seq: dict[str, int] = {}
-        self._waiting: dict[int, tuple[str, Callable[[], bool]]] = {}
+        # rank -> (description, predicate, has virtual timeout, failure
+        # probe returning an exception to raise or None).
+        self._waiting: dict[
+            int,
+            tuple[str, Callable[[], bool], bool, Callable[[], BaseException | None] | None],
+        ] = {}
+        self._timed_out: set[int] = set()
+        self._crashed: dict[int, float] = {}  # rank -> virtual crash time
         self._deadlock: CommVerificationError | None = None
         self.ranks = [_RankState() for _ in range(nprocs)]
 
@@ -242,11 +287,26 @@ class VirtualCluster:
         if not active:
             return False
         blocked = []
+        timed = []
         for r in active:
             entry = self._waiting.get(r)
             if entry is None or entry[1]():
                 return False  # computing, or its wait is satisfiable
-            blocked.append((r, entry[0]))
+            desc, _predicate, has_timeout, failure = entry
+            if failure is not None and failure() is not None:
+                # The rank will wake and raise a typed failure (e.g.
+                # RankFailure for a crashed peer) — not a deadlock.
+                self._lock.notify_all()
+                return False
+            if has_timeout:
+                timed.append(r)
+            blocked.append((r, desc))
+        if timed:
+            # Nothing can progress, but some waits carry virtual
+            # timeouts: expire those instead of declaring deadlock.
+            self._timed_out.update(timed)
+            self._lock.notify_all()
+            return False
         problems = ["deadlock: every live rank is blocked"]
         problems.extend(f"rank {r} blocked in {desc}" for r, desc in blocked)
         traces = self.rank_traces([r for r, _ in blocked])
@@ -256,12 +316,36 @@ class VirtualCluster:
         self._lock.notify_all()
         return True
 
-    def _blocking_wait(self, rank: int, desc: str, predicate) -> None:
-        """With the lock held: wait until ``predicate()``; abort on peer
-        failure or deadlock."""
-        self._waiting[rank] = (desc, predicate)
+    def _blocking_wait(
+        self,
+        rank: int,
+        desc: str,
+        predicate,
+        timed: bool = False,
+        failure: Callable[[], BaseException | None] | None = None,
+    ) -> bool:
+        """With the lock held: wait until ``predicate()``.
+
+        Aborts on peer failure or deadlock; raises the exception
+        returned by ``failure()`` when it fires (crashed-peer probes).
+        With ``timed=True`` the wait participates in stall detection as
+        expirable: when every live rank is blocked and nothing can
+        progress, timed waits return ``False`` (virtual timeout)
+        instead of raising a deadlock.  Returns ``True`` when the
+        predicate is satisfied.
+
+        Waits are notification-driven: every state change that can
+        satisfy a predicate (message enqueue, collective fill, rank
+        completion, crash, timeout expiry) notifies the condition, so
+        blocking host time is not quantised by a poll interval.
+        """
+        self._waiting[rank] = (desc, predicate, timed, failure)
         try:
             while not predicate():
+                if failure is not None:
+                    exc = failure()
+                    if exc is not None:
+                        raise exc
                 if self._deadlock is not None:
                     raise self._deadlock
                 peer = next(
@@ -271,44 +355,104 @@ class VirtualCluster:
                     raise _PeerFailure(
                         f"rank {rank}: peer rank failed during {desc}"
                     ) from peer
+                if rank in self._timed_out:
+                    self._timed_out.discard(rank)
+                    return False
                 if self._check_deadlock():
                     raise self._deadlock
-                self._lock.wait(timeout=0.1)
+                if rank in self._timed_out:
+                    # _check_deadlock may have just expired this wait.
+                    self._timed_out.discard(rank)
+                    return False
+                self._lock.wait(timeout=_WAIT_SAFETY_NET_S)
+            return True
         finally:
             self._waiting.pop(rank, None)
+            self._timed_out.discard(rank)
 
-    def verify_communication(self) -> None:
+    def verify_communication(self) -> list[str]:
         """Finalize-time checks; raises :class:`CommVerificationError`.
 
         Called automatically by :meth:`run` (when ``verify=True``) after
         all ranks return cleanly; callable directly for manual runs.
+
+        When the fault plan crashed ranks mid-run, the residue a crash
+        necessarily leaves behind — messages a dead rank sent (or was
+        sent) that were never received, collectives it never joined,
+        the shorter collective history of ranks that aborted — is
+        *crash-attributed*: reported in the returned list instead of
+        raised as verifier findings.  Returns the (possibly empty) list
+        of crash-attributed notes.
         """
         problems: list[str] = []
+        attributed: list[str] = []
+        crashed = set(self._crashed)
+        undelivered = 0.0
         for (src, dst, tag), q in sorted(self._mailbox.items()):
             for _obj, _ready, nbytes in q:
-                problems.append(
-                    f"unmatched send: rank {src} -> rank {dst} tag={tag} "
+                undelivered += nbytes
+                msg = (
+                    f"rank {src} -> rank {dst} tag={tag} "
                     f"({nbytes} bytes) was never received"
                 )
+                if src in crashed or dst in crashed:
+                    who = src if src in crashed else dst
+                    attributed.append(
+                        f"crash-attributed unmatched send: {msg} "
+                        f"(rank {who} crashed at "
+                        f"t={self._crashed[who]:.6g})"
+                    )
+                else:
+                    problems.append(f"unmatched send: {msg}")
         for (kind, seq), coll in sorted(self._collectives.items()):
             if coll.arrived < coll.expected:
                 missing = sorted(set(range(self.nprocs)) - set(coll.data))
-                problems.append(
+                msg = (
                     f"incomplete collective '{kind}' #{seq}: only "
                     f"{coll.arrived}/{coll.expected} ranks arrived "
                     f"(missing ranks {missing})"
                 )
+                if crashed:
+                    # A crash tears every in-flight collective: ranks
+                    # die before arriving, survivors abort on the
+                    # RankFailure before reaching later collectives.
+                    attributed.append(f"crash-attributed {msg}")
+                else:
+                    problems.append(msg)
         ref = self.ranks[0].coll_kinds
         for r, st in enumerate(self.ranks[1:], start=1):
-            if st.coll_kinds != ref:
-                problems.append(
-                    f"collective ordering mismatch: rank 0 ran {ref} "
-                    f"but rank {r} ran {st.coll_kinds}"
-                )
-                break
+            if not crashed:
+                if st.coll_kinds != ref:
+                    problems.append(
+                        f"collective ordering mismatch: rank 0 ran {ref} "
+                        f"but rank {r} ran {st.coll_kinds}"
+                    )
+                    break
+            else:
+                # Crashed/aborted ranks legitimately ran a prefix of
+                # the schedule; only a *conflicting* prefix is an error.
+                n = min(len(ref), len(st.coll_kinds))
+                if st.coll_kinds[:n] != ref[:n]:
+                    problems.append(
+                        f"collective ordering mismatch: rank 0 ran {ref} "
+                        f"but rank {r} ran {st.coll_kinds}"
+                    )
+                    break
         sent = sum(st.sent_bytes for st in self.ranks)
         recvd = sum(st.recv_bytes for st in self.ranks)
-        if sent != recvd:
+        if crashed:
+            # Byte conservation modulo undelivered crash residue.  The
+            # ledger counts each message's logical bytes exactly once
+            # (retransmitted copies are priced but never re-counted),
+            # so sent minus what is still sitting in mailboxes must
+            # equal what was received.
+            if sent - undelivered != recvd:
+                problems.append(
+                    f"byte conservation violated after crash accounting: "
+                    f"{sent:.0f} sent - {undelivered:.0f} undelivered != "
+                    f"{recvd:.0f} received"
+                )
+        elif sent != recvd:
             per_rank = ", ".join(
                 f"rank {r}: {st.sent_bytes:.0f} out / {st.recv_bytes:.0f} in"
                 for r, st in enumerate(self.ranks)
@@ -319,6 +463,7 @@ class VirtualCluster:
             )
         if problems:
             raise CommVerificationError(problems, self.rank_traces())
+        return attributed
 
     # -- execution ----------------------------------------------------------------
 
@@ -328,7 +473,10 @@ class VirtualCluster:
             for st in self.ranks:
                 st.done = False
                 st.error = None
+                st.crashed = False
             self._waiting.clear()
+            self._timed_out.clear()
+            self._crashed.clear()
             self._deadlock = None
         threads = []
         for r in range(self.nprocs):
@@ -346,6 +494,11 @@ class VirtualCluster:
                 try:
                     with obs.install(tracer):
                         st.result = fn(comm, *args, **kwargs)
+                except _InjectedCrash:
+                    # Simulated death per the fault plan: not a host
+                    # error.  Peers observe it as RankFailure; the
+                    # result slot stays None.
+                    pass
                 except BaseException as exc:  # propagate to caller
                     st.error = exc
                 finally:
@@ -387,6 +540,14 @@ class VirtualComm:
         self.cluster = cluster
         self.rank = rank
         self._st = cluster.ranks[rank]
+        plan = cluster._plan
+        self._send_seq = 0  # per-rank message counter (loss-draw index)
+        self._a2a_seq = 0  # per-rank alltoall counter (collective loss draws)
+        self._step = 0
+        self._straggle = 1.0 if plan is None else plan.straggler_factor(rank)
+        self._crash_spec: CrashSpec | None = (
+            None if plan is None else plan.crash_for(rank)
+        )
 
     # -- clock ------------------------------------------------------------------
 
@@ -405,9 +566,25 @@ class VirtualComm:
         return self._st.cpu
 
     def compute(self, seconds: float) -> None:
-        """Charge `seconds` of pure computation."""
+        """Charge `seconds` of pure computation.
+
+        A straggling rank (fault plan) pays proportionally more on both
+        clocks; a rank whose crash time falls inside the interval
+        consumes the partial compute and then dies.
+        """
         if seconds < 0:
             raise ValueError("negative compute time")
+        if self.cluster._plan is not None:
+            seconds = seconds * self._straggle
+            c = self._crash_spec
+            if c is not None and c.at_time is not None:
+                if self._st.wall >= c.at_time:
+                    self._do_crash()
+                if self._st.wall + seconds >= c.at_time:
+                    part = c.at_time - self._st.wall
+                    self._st.wall += part
+                    self._st.cpu += part
+                    self._do_crash()
         self._st.wall += seconds
         self._st.cpu += seconds
 
@@ -417,24 +594,141 @@ class VirtualComm:
             raise RuntimeError("cluster has no CPU model")
         self.compute(self.cluster.cpu.app_time(flops))
 
+    # -- fault plumbing -----------------------------------------------------------
+
+    def mark_step(self, step: int | None = None) -> int:
+        """Announce the start of application timestep ``step``.
+
+        Solvers call this once per timestep so a
+        :class:`~repro.parallel.faults.CrashSpec` with ``at_step`` can
+        fire at a step boundary.  ``step`` defaults to an internal
+        counter; returns the step index announced.  No-op without a
+        fault plan.
+        """
+        if step is None:
+            step = self._step
+        self._step = step + 1
+        c = self._crash_spec
+        if c is not None:
+            self._maybe_crash()
+            if c.at_step is not None and step >= c.at_step:
+                self._do_crash()
+        return step
+
+    def _maybe_crash(self) -> None:
+        """Die if this rank's wall clock has reached its crash time."""
+        c = self._crash_spec
+        if c is not None and c.at_time is not None and self._st.wall >= c.at_time:
+            self._do_crash()
+
+    def _do_crash(self) -> None:
+        cl = self.cluster
+        with cl._lock:
+            self._st.crashed = True
+            cl._crashed[self.rank] = self._st.wall
+            self._st.trace.append(f"CRASHED at t={self._st.wall:.6g}")
+            cl._lock.notify_all()
+        metrics.inc("faults.crashes")
+        tracer = obs.current()
+        if tracer is not None:
+            tracer.emit_instant(
+                "crash", "fault", {"rank": self.rank, "t": self._st.wall}
+            )
+        raise _InjectedCrash(self.rank, self._st.wall)
+
+    def _check_peer_alive(self, peer: int) -> None:
+        """Raise :class:`RankFailure` if ``peer`` has crashed."""
+        cl = self.cluster
+        if cl._plan is None:
+            return
+        with cl._lock:
+            when = cl._crashed.get(peer)
+        if when is not None:
+            raise RankFailure(peer, when)
+
     # -- point-to-point ------------------------------------------------------------
 
+    def _check_endpoint(self, peer: int, tag: int, what: str) -> None:
+        """Eager argument validation: fail fast with the offending
+        rank/tag instead of hanging until the deadlock detector fires."""
+        if not isinstance(peer, (int, np.integer)) or isinstance(peer, bool):
+            raise ValueError(
+                f"rank {self.rank}: {what} must be an integer rank, "
+                f"got {peer!r}"
+            )
+        if not 0 <= peer < self.size:
+            raise ValueError(
+                f"rank {self.rank}: {what} {peer} out of range "
+                f"(valid ranks: 0..{self.size - 1})"
+            )
+        if peer == self.rank:
+            raise ValueError(
+                f"rank {self.rank}: {what} {peer} is this rank itself"
+            )
+        if not isinstance(tag, (int, np.integer)) or isinstance(tag, bool) or tag < 0:
+            raise ValueError(
+                f"rank {self.rank}: invalid tag {tag!r} "
+                f"(tags must be integers >= 0)"
+            )
+
     def send(self, dest: int, obj: Any, tag: int = 0) -> None:
-        if not 0 <= dest < self.size or dest == self.rank:
-            raise ValueError(f"bad destination {dest}")
-        net = self.cluster.pair_network(self.rank, dest)
+        self._check_endpoint(dest, tag, "destination")
+        cl = self.cluster
+        plan = cl._plan
+        if plan is not None:
+            self._maybe_crash()
+            self._check_peer_alive(dest)
+        net = cl.pair_network(self.rank, dest)
         nbytes = payload_bytes(obj)
         t_start = self._st.wall
-        ready = t_start + net.send_time(nbytes)
-        # Sender occupies the wire (store-and-forward into the NIC) and
-        # pays the protocol stack's CPU cost.
-        self._st.wall += nbytes / net.bandwidth
-        overhead = net.cpu_time_for_bytes(nbytes)
-        self._st.wall += overhead
-        self._st.cpu += overhead
+        seq = self._send_seq
+        self._send_seq = seq + 1
+        if plan is None:
+            ready = t_start + net.send_time(nbytes)
+            # Sender occupies the wire (store-and-forward into the NIC)
+            # and pays the protocol stack's CPU cost.
+            self._st.wall += nbytes / net.bandwidth
+            overhead = net.cpu_time_for_bytes(nbytes)
+            self._st.wall += overhead
+            self._st.cpu += overhead
+        else:
+            factor = plan.link_factor(self.rank, dest)
+            nret = (
+                plan.retransmits(self.rank, dest, tag, seq)
+                if plan.loss_applies(net)
+                else 0
+            )
+            delay = plan.retransmit_delay(nret)
+            wire = factor * (nbytes / net.bandwidth)
+            ready = t_start + delay + factor * net.send_time(nbytes)
+            self._st.wall += wire
+            overhead = net.cpu_time_for_bytes(nbytes)
+            self._st.wall += overhead
+            self._st.cpu += overhead
+            if nret:
+                # TCP retransmit pricing: the blocked sender sits
+                # through the RTO backoff and re-occupies the wire for
+                # each resend (wall); the kernel's extra copies and
+                # checksums burn CPU via cpu_overhead_per_byte.
+                resend_cpu = net.cpu_time_for_bytes(nret * nbytes)
+                self._st.wall += delay + nret * wire + resend_cpu
+                self._st.cpu += resend_cpu
+                metrics.inc("faults.retransmits", nret)
+                metrics.inc("faults.retransmitted_bytes", nret * nbytes)
+                tracer = obs.current()
+                if tracer is not None:
+                    tracer.emit_span(
+                        f"retransmit -> {dest}",
+                        "fault",
+                        t_start,
+                        t_start + delay + nret * wire,
+                        {"bytes": nbytes, "tag": tag, "retransmits": nret},
+                    )
+        # Ledger counts each message's logical bytes exactly once;
+        # retransmitted copies are priced above but never re-counted,
+        # so byte conservation holds under any loss rate.
         self._st.sent_bytes += nbytes
         self._st.messages += 1
-        cl = self.cluster
         with cl._lock:
             self._st.trace.append(f"send -> {dest} tag={tag} ({nbytes}B)")
             key = (self.rank, dest, tag)
@@ -453,22 +747,97 @@ class VirtualComm:
         metrics.inc("comm.sends")
         metrics.inc("comm.bytes_sent", nbytes)
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        if not 0 <= source < self.size or source == self.rank:
-            raise ValueError(f"bad source {source}")
+    def recv(
+        self,
+        source: int,
+        tag: int = 0,
+        *,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 2.0,
+    ) -> Any:
+        """Blocking receive, with an optional virtual-timeout API.
+
+        With ``timeout`` set, each attempt waits at most that many
+        virtual seconds for a message from ``source``; an expired
+        attempt charges the timeout to the wall clock (plus the
+        network's busy-wait CPU fraction) and retries up to ``retries``
+        times, multiplying the timeout by ``backoff`` each retry,
+        before raising :class:`~repro.parallel.faults.RecvTimeout`.
+        Without ``timeout`` the behaviour (and pricing) is exactly the
+        classic blocking receive.
+
+        If ``source`` crashed, pending messages it sent still deliver;
+        once the mailbox is drained the receive raises
+        :class:`~repro.parallel.faults.RankFailure`.
+        """
+        self._check_endpoint(source, tag, "source")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"rank {self.rank}: timeout must be positive")
+        if retries < 0:
+            raise ValueError(f"rank {self.rank}: retries must be >= 0")
         cl = self.cluster
+        plan = cl._plan
+        if plan is not None:
+            self._maybe_crash()
         key = (source, self.rank, tag)
         t_entry = self._st.wall
-        with cl._lock:
-            cl._blocking_wait(
-                self.rank,
-                f"recv(source={source}, tag={tag})",
-                lambda: bool(cl._mailbox.get(key)),
-            )
-            obj, ready, nbytes = cl._mailbox[key].popleft()
-            if not cl._mailbox[key]:
-                del cl._mailbox[key]
-            self._st.trace.append(f"recv <- {source} tag={tag} ({nbytes}B)")
+
+        def crash_probe():
+            if plan is None:
+                return None
+            when = cl._crashed.get(source)
+            if when is not None and not cl._mailbox.get(key):
+                return RankFailure(source, when)
+            return None
+
+        desc = f"recv(source={source}, tag={tag})"
+        attempts = 0
+        cur_timeout = timeout
+        while True:
+            with cl._lock:
+                got = cl._blocking_wait(
+                    self.rank,
+                    desc,
+                    lambda: bool(cl._mailbox.get(key)),
+                    timed=timeout is not None,
+                    failure=crash_probe,
+                )
+                if got:
+                    obj, ready, nbytes = cl._mailbox[key][0]
+                    if cur_timeout is None or ready <= self._st.wall + cur_timeout:
+                        cl._mailbox[key].popleft()
+                        if not cl._mailbox[key]:
+                            del cl._mailbox[key]
+                        self._st.trace.append(
+                            f"recv <- {source} tag={tag} ({nbytes}B)"
+                        )
+                        break
+                    # A message exists but completes after the virtual
+                    # deadline: this attempt times out; the message
+                    # stays queued for a later attempt.
+            # Virtual timeout: burn the deadline on the wall clock.
+            assert cur_timeout is not None
+            net_t = cl.pair_network(source, self.rank)
+            t0 = self._st.wall
+            self._st.wall += cur_timeout
+            self._st.cpu += net_t.busy_wait_fraction * cur_timeout
+            attempts += 1
+            metrics.inc("faults.recv_timeouts")
+            tracer = obs.current()
+            if tracer is not None:
+                tracer.emit_span(
+                    f"timeout: recv <- {source}",
+                    "fault",
+                    t0,
+                    self._st.wall,
+                    {"tag": tag, "attempt": attempts, "timeout": cur_timeout},
+                )
+            if attempts > retries:
+                raise RecvTimeout(
+                    source, tag, self._st.wall - t_entry, attempts
+                )
+            cur_timeout = cur_timeout * backoff
         net = cl.pair_network(source, self.rank)
         overhead = net.cpu_time_for_bytes(nbytes)
         waited = max(0.0, ready - self._st.wall)
@@ -516,6 +885,8 @@ class VirtualComm:
         combine(all_data) -> per-rank output (called once).
         """
         cl = self.cluster
+        if cl._plan is not None:
+            self._maybe_crash()
         t_entry = self._st.wall
         with cl._lock:
             if cl.verify:
@@ -559,10 +930,22 @@ class VirtualComm:
                 cl._coll_seq[kind] = seq + 1
                 cl._lock.notify_all()
             else:
+
+                def crash_probe():
+                    # A collective can never complete once a rank that
+                    # has not yet contributed is dead.
+                    if cl._plan is None:
+                        return None
+                    for dead, when in cl._crashed.items():
+                        if dead not in coll.data:
+                            return RankFailure(dead, when)
+                    return None
+
                 cl._blocking_wait(
                     self.rank,
                     f"collective '{kind}' #{seq}",
                     lambda: coll.arrived >= coll.expected,
+                    failure=crash_probe,
                 )
             coll.released += 1
             out, t_done = coll.out, coll.t_done
@@ -607,10 +990,15 @@ class VirtualComm:
         """chunks[d] goes to rank d; returns what every rank sent to us."""
         if len(chunks) != self.size:
             raise ValueError("alltoall needs one chunk per rank")
-        net = self.cluster.network
+        cl = self.cluster
+        net = cl.network
         me = self.rank
         nbytes = max((payload_bytes(c) for c in chunks), default=0)
-        overhead = net.cpu_time_for_bytes(2.0 * nbytes * (self.size - 1))
+        # P-1 peers each cost a send-side and a receive-side pass
+        # through the protocol stack; a single rank still pays the MPI
+        # self-copy (mirroring NetworkModel.alltoall_time's pricing).
+        copied = 2.0 * nbytes * (self.size - 1) if self.size > 1 else float(nbytes)
+        overhead = net.cpu_time_for_bytes(copied)
         self._st.cpu += overhead
         self._st.sent_bytes += nbytes * (self.size - 1)
         self._st.recv_bytes += nbytes * (self.size - 1)
@@ -619,12 +1007,64 @@ class VirtualComm:
         metrics.inc("comm.bytes_sent", nbytes * (self.size - 1))
         metrics.inc("comm.bytes_recv", nbytes * (self.size - 1))
 
+        plan = cl._plan
+        stretch = 1.0
+        seq_f = 0
+        if plan is not None:
+            # Per-rank alltoall counter; the collective-ordering rule
+            # keeps it equal across ranks, so every rank derives the
+            # same deterministic loss draws for this instance.
+            seq_f = self._a2a_seq
+            self._a2a_seq = seq_f + 1
+            if plan.degraded_links and self.size > 1:
+                # The pairwise-exchange rounds are gated by the slowest
+                # link in the fabric.
+                stretch = max(
+                    plan.link_factor(a, b)
+                    for a in range(self.size)
+                    for b in range(a)
+                )
+            if plan.loss_applies(net) and self.size > 1:
+                # This rank's own lost segments cost kernel resend
+                # copies (CPU); the shared completion delay is priced
+                # inside ``pricing`` below.
+                mine = sum(
+                    plan.collective_retransmits("alltoall", seq_f, me, d)
+                    for d in range(self.size)
+                    if d != me
+                )
+                if mine:
+                    self._st.cpu += net.cpu_time_for_bytes(mine * nbytes)
+                    metrics.inc("faults.retransmits", mine)
+                    metrics.inc("faults.retransmitted_bytes", mine * nbytes)
+
         def pricing(t0, data):
             sizes = [
                 payload_bytes(c) for chunk in data.values() for c in chunk
             ]
             m = max(sizes) if sizes else 0
-            return t0 + net.alltoall_time(self.size, m) + overhead
+            t = t0 + stretch * net.alltoall_time(self.size, m) + overhead
+            if plan is not None and plan.loss_applies(net) and self.size > 1:
+                # The synchronising exchange finishes when the slowest
+                # sender clears its serialised rounds: max over sources
+                # of summed RTO backoff plus resend wire occupancy.
+                # Computed from the shared max chunk size so every rank
+                # would price the same completion time.
+                wire = m / net.bandwidth
+                t += max(
+                    sum(
+                        plan.retransmit_delay(nr) + nr * wire
+                        for d in range(self.size)
+                        if d != s
+                        for nr in (
+                            plan.collective_retransmits(
+                                "alltoall", seq_f, s, d
+                            ),
+                        )
+                    )
+                    for s in range(self.size)
+                )
+            return t
 
         out = self._collective(
             "alltoall",

@@ -116,3 +116,36 @@ def test_effective_capacity_cap():
     assert ETH.effective_capacity(16) == pytest.approx(ETH.aggregate_capacity)
     assert ETH.effective_capacity(16) < 16 * ETH.bandwidth
     assert MYR.effective_capacity(4) == pytest.approx(4 * 33e6)
+
+
+def test_single_rank_alltoall_charges_self_copy():
+    """nprocs < 2 is not free on a kernel-mediated network: MPI still
+    performs the local copy through the protocol stack."""
+    assert ETH.alltoall_time(1, 65536) == pytest.approx(
+        ETH.cpu_time_for_bytes(65536)
+    )
+    assert ETH.alltoall_time(1, 65536) > 0.0
+    assert ETH.alltoall_time(1, 0) == 0.0
+    # OS-bypass networks pay no protocol-stack copy cost.
+    assert MYR.alltoall_time(1, 65536) == 0.0
+    assert T3E.alltoall_time(1, 65536) == 0.0
+
+
+def test_alltoall_avg_bandwidth_goldens():
+    """Pin Figure 8's metric on the two RoadRunner fabrics: the numbers
+    these exact model parameters produce.  Ethernet halves from 4 to 8
+    processors (the saturation of Table 2); Myrinet's non-blocking
+    fabric holds flat.  Any drift means the pricing model changed."""
+    m = 65536
+    assert ETH.alltoall_avg_bandwidth(4, m) == pytest.approx(
+        1.833728790795541, rel=1e-12
+    )
+    assert ETH.alltoall_avg_bandwidth(8, m) == pytest.approx(
+        0.9204701229241108, rel=1e-12
+    )
+    assert MYR.alltoall_avg_bandwidth(4, m) == pytest.approx(
+        32.50891380813516, rel=1e-12
+    )
+    assert MYR.alltoall_avg_bandwidth(8, m) == pytest.approx(
+        32.50891380813516, rel=1e-12
+    )
