@@ -1,17 +1,36 @@
-"""CLI for the invariant linter: ``python -m repro.analysis [paths...]``.
+"""CLI for the static-analysis suite: ``python -m repro.analysis [paths...]``.
 
-Exits 0 when every checked file is clean, 1 when any diagnostic is
-emitted, 2 on usage errors.  Default path is ``src`` when run from the
-repository root, falling back to the installed ``repro`` package tree.
+Exits 0 when every checked file is clean (or every finding is covered
+by the baseline), 1 when any unbaselined diagnostic is emitted, 2 on
+usage errors — including a ``--select``/waiver token that names no
+known rule.  Default path is ``src`` when run from the repository root,
+falling back to the installed ``repro`` package tree.
+
+``--format json`` emits one object per diagnostic; ``--format sarif``
+emits a SARIF 2.1.0 log suitable for code-scanning upload.
+``--baseline FILE`` suppresses findings whose fingerprint is recorded
+in the committed baseline (and reports baseline entries that no longer
+fire, so the baseline only ever shrinks); ``--write-baseline`` rewrites
+the file from the current findings.  ``--select RULE[,RULE...]``
+restricts the run to the named rules and forces them in scope on every
+file — the seed audit runs ``--select REPRO004 tests benchmarks``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from .linter import RULES, lint_paths
+from .linter import Diagnostic, RULES, lint_paths
+from .vocab import WAIVER_CODE
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def _default_paths() -> list[str]:
@@ -20,11 +39,104 @@ def _default_paths() -> list[str]:
     return [str(Path(__file__).resolve().parents[1])]
 
 
+def _to_json(diags: list[Diagnostic]) -> str:
+    return json.dumps(
+        [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "code": d.code,
+                "rule": d.rule,
+                "message": d.message,
+            }
+            for d in diags
+        ],
+        indent=2,
+    )
+
+
+def _to_sarif(diags: list[Diagnostic]) -> str:
+    rules = [
+        {
+            "id": code,
+            "name": rule,
+            "shortDescription": {"text": summary},
+        }
+        for rule, (code, summary) in sorted(RULES.items(), key=lambda kv: kv[1][0])
+    ]
+    rules.insert(
+        0,
+        {
+            "id": WAIVER_CODE,
+            "name": "meta",
+            "shortDescription": {
+                "text": "malformed, unknown or stale waivers and syntax errors"
+            },
+        },
+    )
+    results = [
+        {
+            "ruleId": d.code,
+            "level": "error",
+            "message": {"text": f"[{d.rule}] {d.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.path},
+                        "region": {
+                            "startLine": d.line,
+                            "startColumn": max(d.col, 0) + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diags
+    ]
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+def _load_baseline(path: Path) -> list[str]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError("baseline must be an object with a 'findings' list")
+    return list(data["findings"])
+
+
+def _write_baseline(path: Path, diags: list[Diagnostic]) -> None:
+    payload = {
+        "comment": (
+            "Fingerprints of accepted pre-existing findings; new findings "
+            "fail the build.  Regenerate with --write-baseline."
+        ),
+        "findings": sorted({d.fingerprint() for d in diags}),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Check repo-specific invariants (accounting, "
-        "virtual-time purity, counted-BLAS usage).",
+        description="Static-analysis suite: accounting/virtual-time/raw-numpy "
+        "invariants, determinism sanitizer (REPRO004-006) and "
+        "communication-protocol checker (REPRO010-013).",
     )
     parser.add_argument(
         "paths",
@@ -36,12 +148,40 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names/codes to run, forced in scope on "
+        "every file (audit mode; disables stale-waiver detection)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON findings baseline; recorded findings are suppressed, "
+        "stale baseline entries are reported",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
+        print(f"{WAIVER_CODE}  {'meta':<26} malformed/unknown/stale waivers, syntax errors")
         for rule, (code, summary) in sorted(RULES.items(), key=lambda kv: kv[1][0]):
-            print(f"{code}  {rule:<14} {summary}")
+            print(f"{code}  {rule:<26} {summary}")
         return 0
+
+    select = None
+    if args.select:
+        select = [t.strip() for t in args.select.split(",") if t.strip()]
 
     paths = args.paths or _default_paths()
     for p in paths:
@@ -49,13 +189,51 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: no such path: {p}", file=sys.stderr)
             return 2
 
-    diags = lint_paths(paths)
-    for d in diags:
-        print(d.format())
+    try:
+        diags = lint_paths(paths, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        _write_baseline(Path(args.baseline), diags)
+        print(f"wrote {len(diags)} finding(s) to {args.baseline}", file=sys.stderr)
+        return 0
+
+    stale_baseline: list[str] = []
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: no such baseline: {args.baseline}", file=sys.stderr)
+            return 2
+        try:
+            accepted = _load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: bad baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        fired = {d.fingerprint() for d in diags}
+        stale_baseline = sorted(f for f in accepted if f not in fired)
+        diags = [d for d in diags if d.fingerprint() not in set(accepted)]
+
+    if args.format == "json":
+        print(_to_json(diags))
+    elif args.format == "sarif":
+        print(_to_sarif(diags))
+    else:
+        for d in diags:
+            print(d.format())
+
+    failed = False
     if diags:
         print(f"{len(diags)} problem(s) found", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    for fp in stale_baseline:
+        print(f"stale baseline entry (no longer fires): {fp}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,408 @@
+"""Communication-protocol checker (REPRO010–REPRO013).
+
+Static AST/dataflow analysis over every ``send``/``recv``/``sendrecv``/
+collective call site on a *comm-like* receiver — a name ``comm``, a
+parameter annotated ``VirtualComm``, or an attribute chain ending in
+``.comm``.  Four rules, each the static face of a finalize-time verifier
+finding (:mod:`repro.analysis.vocab` maps both sides to one code):
+
+``tag-pairing`` (REPRO010)
+    Constant send tags and recv tags are paired across the whole
+    analyzed corpus; a send tag with no matching recv anywhere (or vice
+    versa) is the static shape of the verifier's *unmatched send*.
+    ``sendrecv`` contributes both directions.  Non-constant tags are
+    skipped — the checker only reports what it can prove.
+
+``rank-conditional-collective`` (REPRO011)
+    A collective issued under a conditional whose test reads a rank
+    (``if comm.rank == 0: comm.barrier()``) is a static deadlock: ranks
+    that skip the branch never arrive, which the runtime verifier
+    reports as an incomplete collective or a collective-order mismatch.
+
+``unguarded-recv`` (REPRO012)
+    In a *fault-bearing* module (one that imports the fault-injection
+    machinery or passes a fault plan), a blocking ``recv`` with no
+    ``timeout=`` and no enclosing ``try`` that catches ``RecvTimeout``/
+    ``RankFailure`` turns a dropped message into a hang.
+
+``uncounted-payload`` (REPRO013)
+    A send whose payload expression performs raw numpy compute inline
+    (``comm.send(dst, a @ b, tag=3)``) produces bytes that were never
+    charge-counted; compute the payload through counted kernels first,
+    then send the result.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .vocab import RULES
+
+__all__ = ["CommSite", "check_ctx", "pair_sites"]
+
+P2P_SENDS = {"send"}
+P2P_RECVS = {"recv"}
+COLLECTIVES = {
+    "barrier",
+    "alltoall",
+    "allreduce",
+    "bcast",
+    "gather",
+    "allgather",
+    "scatter",
+    "reduce",
+}
+_GUARD_EXCEPTIONS = {
+    "RecvTimeout",
+    "RankFailure",
+    "TimeoutError",
+    "Exception",
+    "BaseException",
+}
+
+
+@dataclass(frozen=True)
+class CommSite:
+    """One p2p call site, as far as it can be resolved statically."""
+
+    path: str
+    line: int
+    col: int
+    op: str  # "send" | "recv"
+    tag: int | None  # constant tag, or None when not statically known
+
+
+def _terminal_attr(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _annotated_comm_params(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for a in list(node.args.posonlyargs) + list(node.args.args) + list(
+                node.args.kwonlyargs
+            ):
+                if a.annotation is not None and "VirtualComm" in ast.unparse(
+                    a.annotation
+                ):
+                    names.add(a.arg)
+    return names
+
+
+def _contains_rank_read(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "rank":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "rank":
+            return True
+    return False
+
+
+def _constant_int(node: ast.expr | None) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _payload_computes_inline(node: ast.expr, table) -> str | None:
+    """Description of raw compute inside a payload expression, or None."""
+    from .linter import _classify_call  # shared call taxonomy
+
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.MatMult):
+            return "'@' (matrix multiply)"
+        if isinstance(sub, ast.Call):
+            dotted = table.resolve(sub.func)
+            if dotted is None:
+                continue
+            kinds = _classify_call(dotted)
+            if "compute" in kinds or "rawnp" in kinds:
+                return f"{dotted}()"
+    return None
+
+
+def _module_is_fault_bearing(ctx) -> bool:
+    """True when the file imports the fault machinery or passes a fault
+    plan — the code paths where messages can be lost or delayed."""
+    assert ctx.tree is not None and ctx.table is not None
+    if any(
+        v.startswith("repro.parallel.faults.") for v in ctx.table.objects.values()
+    ):
+        return True
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            names = [a.name for a in node.names]
+            mod = getattr(node, "module", "") or ""
+            if "faults" in names or mod.endswith("faults"):
+                return True
+        elif isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg in ("faults", "fault_plan"):
+                    return True
+    return False
+
+
+class _Scanner(ast.NodeVisitor):
+    """One pass over a file: collects p2p sites and per-file findings."""
+
+    def __init__(self, ctx, comm_params: set[str], fault_bearing: bool):
+        self.ctx = ctx
+        self.comm_params = comm_params
+        self.fault_bearing = fault_bearing
+        self.rank_depth = 0
+        self.guard_depth = 0
+        self.sites: list[CommSite] = []
+        # (line, col, rule, message)
+        self.findings: list[tuple[int, int, str, str]] = []
+
+    # -- scope management ---------------------------------------------
+
+    def _visit_body(self, stmts) -> None:
+        for s in stmts:
+            self.visit(s)
+
+    def visit_FunctionDef(self, node):
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node):
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        # A nested def is not executed where it appears: its body starts
+        # from a clean conditional/guard context.
+        saved = (self.rank_depth, self.guard_depth)
+        self.rank_depth = self.guard_depth = 0
+        self._visit_body(node.body)
+        self.rank_depth, self.guard_depth = saved
+
+    def visit_If(self, node):
+        self.visit(node.test)
+        rank = _contains_rank_read(node.test)
+        self.rank_depth += 1 if rank else 0
+        self._visit_body(node.body)
+        self._visit_body(node.orelse)
+        self.rank_depth -= 1 if rank else 0
+
+    def visit_While(self, node):
+        self.visit(node.test)
+        rank = _contains_rank_read(node.test)
+        self.rank_depth += 1 if rank else 0
+        self._visit_body(node.body)
+        self._visit_body(node.orelse)
+        self.rank_depth -= 1 if rank else 0
+
+    def visit_IfExp(self, node):
+        self.visit(node.test)
+        rank = _contains_rank_read(node.test)
+        self.rank_depth += 1 if rank else 0
+        self.visit(node.body)
+        self.visit(node.orelse)
+        self.rank_depth -= 1 if rank else 0
+
+    def visit_Try(self, node):
+        guards = False
+        for h in node.handlers:
+            types = []
+            if h.type is None:
+                guards = True
+            elif isinstance(h.type, ast.Tuple):
+                types = [_terminal_attr(t) for t in h.type.elts]
+            else:
+                types = [_terminal_attr(h.type)]
+            if any(t in _GUARD_EXCEPTIONS for t in types):
+                guards = True
+        self.guard_depth += 1 if guards else 0
+        self._visit_body(node.body)
+        self.guard_depth -= 1 if guards else 0
+        for h in node.handlers:
+            self._visit_body(h.body)
+        self._visit_body(node.orelse)
+        self._visit_body(node.finalbody)
+
+    # -- call sites ----------------------------------------------------
+
+    def _is_comm_base(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == "comm" or node.id in self.comm_params
+        if isinstance(node, ast.Attribute):
+            return node.attr == "comm"
+        return False
+
+    def visit_Call(self, node):
+        func = node.func
+        if isinstance(func, ast.Attribute) and self._is_comm_base(func.value):
+            op = func.attr
+            if op in P2P_SENDS:
+                self._record_send(node)
+            elif op in P2P_RECVS:
+                self._record_recv(node)
+            elif op == "sendrecv":
+                self._record_sendrecv(node)
+            elif op in COLLECTIVES:
+                self._check_collective(node, op)
+        self.generic_visit(node)
+
+    def _tag_of(self, node: ast.Call, pos: int) -> tuple[int | None, bool]:
+        """(constant tag, statically-known) — default tag is 0."""
+        expr = _keyword(node, "tag")
+        if expr is None and len(node.args) > pos:
+            expr = node.args[pos]
+        if expr is None:
+            return 0, True
+        value = _constant_int(expr)
+        return value, value is not None
+
+    def _record_send(self, node: ast.Call) -> None:
+        tag, known = self._tag_of(node, pos=2)
+        self.sites.append(
+            CommSite(self.ctx.path, node.lineno, node.col_offset, "send", tag if known else None)
+        )
+        payload = _keyword(node, "obj")
+        if payload is None and len(node.args) > 1:
+            payload = node.args[1]
+        if payload is not None:
+            desc = _payload_computes_inline(payload, self.ctx.table)
+            if desc is not None:
+                self.findings.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        "uncounted-payload",
+                        f"send payload computes {desc} inline, so its flops and "
+                        "bytes are never charge-counted; compute through counted "
+                        "kernels first, then send the result",
+                    )
+                )
+
+    def _record_recv(self, node: ast.Call) -> None:
+        tag, known = self._tag_of(node, pos=1)
+        self.sites.append(
+            CommSite(self.ctx.path, node.lineno, node.col_offset, "recv", tag if known else None)
+        )
+        if (
+            self.fault_bearing
+            and _keyword(node, "timeout") is None
+            and self.guard_depth == 0
+        ):
+            self.findings.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    "unguarded-recv",
+                    "blocking recv in a fault-bearing module has no timeout= and "
+                    "no enclosing try that catches RecvTimeout/RankFailure: a "
+                    "dropped message becomes a hang instead of a recoverable fault",
+                )
+            )
+
+    def _record_sendrecv(self, node: ast.Call) -> None:
+        tag, known = self._tag_of(node, pos=3)
+        resolved = tag if known else None
+        for op in ("send", "recv"):
+            self.sites.append(
+                CommSite(self.ctx.path, node.lineno, node.col_offset, op, resolved)
+            )
+
+    def _check_collective(self, node: ast.Call, op: str) -> None:
+        if self.rank_depth > 0:
+            self.findings.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    "rank-conditional-collective",
+                    f"collective {op}() under a rank-dependent conditional: ranks "
+                    "that skip the branch never arrive, which is a deadlock the "
+                    "runtime verifier reports as an incomplete collective",
+                )
+            )
+
+
+def check_ctx(ctx, select):
+    """Per-file protocol rules; returns ``(diags, p2p_sites)``.
+
+    ``ctx`` is a :class:`repro.analysis.linter._FileContext`; the tag
+    pairing over the returned sites happens corpus-wide in
+    :func:`pair_sites`.
+    """
+    from .linter import Diagnostic
+
+    assert ctx.tree is not None
+
+    def on(rule: str) -> bool:
+        if select is not None:
+            return rule in select
+        return ctx.pkg is not None
+
+    scanner = _Scanner(
+        ctx,
+        comm_params=_annotated_comm_params(ctx.tree),
+        fault_bearing=_module_is_fault_bearing(ctx),
+    )
+    scanner.visit(ctx.tree)
+    diags = []
+    for line, col, rule, message in scanner.findings:
+        if not on(rule):
+            continue
+        if ctx.covered(rule, line):
+            continue
+        diags.append(
+            Diagnostic(ctx.path, line, col, RULES[rule][0], rule, message)
+        )
+    sites = scanner.sites if (select is None or "tag-pairing" in select) else []
+    if select is None and ctx.pkg is None:
+        sites = []
+    return diags, sites
+
+
+def pair_sites(sites, ctx_by_path):
+    """Corpus-wide tag pairing (REPRO010).
+
+    Every constant send tag must have at least one recv with the same
+    tag somewhere in the corpus, and vice versa.  This is deliberately
+    corpus-level, not per-file: the NekTar-F pairwise exchange sends in
+    one module what a peer receives via the same module on another
+    rank, so the proof obligation is global.
+    """
+    from .linter import Diagnostic
+
+    code = RULES["tag-pairing"][0]
+    send_tags = {s.tag for s in sites if s.op == "send" and s.tag is not None}
+    recv_tags = {s.tag for s in sites if s.op == "recv" and s.tag is not None}
+    diags = []
+    for site in sites:
+        if site.tag is None:
+            continue
+        if site.op == "send" and site.tag not in recv_tags:
+            msg = (
+                f"send with tag={site.tag} has no recv with a matching tag "
+                "anywhere in the analyzed corpus — the runtime face of this "
+                "is an unmatched send at finalize"
+            )
+        elif site.op == "recv" and site.tag not in send_tags:
+            msg = (
+                f"recv with tag={site.tag} has no send with a matching tag "
+                "anywhere in the analyzed corpus — this recv can never be "
+                "satisfied and will deadlock or time out"
+            )
+        else:
+            continue
+        ctx = ctx_by_path.get(site.path)
+        if ctx is not None and ctx.covered("tag-pairing", site.line):
+            continue
+        diags.append(
+            Diagnostic(site.path, site.line, site.col, code, "tag-pairing", msg)
+        )
+    return diags

@@ -1,0 +1,114 @@
+"""One diagnostic vocabulary for static and runtime communication checks.
+
+The protocol checker (:mod:`repro.analysis.protocol`) and the
+finalize-time communication verifier
+(:meth:`repro.parallel.simmpi.VirtualCluster.verify_communication`)
+look for the same defect classes from two sides: the checker proves
+their *shape* absent from the source, the verifier catches the
+*instance* a run actually produced.  Both sides tag their findings with
+the codes defined here, so a CI failure and a lint finding about the
+same defect read as one diagnostic.
+
+This module is import-free on purpose: :mod:`repro.parallel.simmpi`
+imports it without pulling the AST machinery in, and the analysis side
+imports it without touching the simulator.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RULES",
+    "RUNTIME_CODES",
+    "WAIVER_CODE",
+    "code_for",
+    "name_for",
+]
+
+#: Diagnostic code for meta-problems: malformed/unknown/stale waivers
+#: and syntax errors — problems with the analysis inputs themselves.
+WAIVER_CODE = "REPRO000"
+
+#: rule name -> (code, one-line summary).  REPRO001-003 are the PR-1
+#: invariant rules; REPRO004-006 the determinism sanitizer; REPRO010-013
+#: the communication-protocol checker.
+RULES: dict[str, tuple[str, str]] = {
+    "accounting": (
+        "REPRO001",
+        "hot-path kernels must charge the ambient OpCounter",
+    ),
+    "virtual-time": (
+        "REPRO002",
+        "virtual-time rank code must not touch real clocks or raw threads",
+    ),
+    "raw-numpy": (
+        "REPRO003",
+        "hot paths must use the counted repro.linalg.blas kernels",
+    ),
+    "unseeded-rng": (
+        "REPRO004",
+        "random draws must come from an explicitly seeded generator",
+    ),
+    "wall-clock": (
+        "REPRO005",
+        "priced numeric code must not read host clocks",
+    ),
+    "unordered-iteration": (
+        "REPRO006",
+        "rank-keyed dicts and sets must be iterated in sorted order",
+    ),
+    "tag-pairing": (
+        "REPRO010",
+        "every send tag needs a matching recv tag at the paired endpoint",
+    ),
+    "rank-conditional-collective": (
+        "REPRO011",
+        "collectives must not sit under rank-dependent conditionals",
+    ),
+    "unguarded-recv": (
+        "REPRO012",
+        "recv in fault-bearing code needs a timeout/retry guard",
+    ),
+    "uncounted-payload": (
+        "REPRO013",
+        "message payloads must be computed through counted kernels first",
+    ),
+}
+
+#: Runtime verifier finding kind -> diagnostic code.  The finalize-time
+#: verifier appends these codes to its problem strings so runtime
+#: failures cite the same vocabulary as the static checker:
+#:
+#: * an ``unmatched_send`` at finalize is the runtime instance of a
+#:   statically mispaired endpoint (REPRO010);
+#: * a ``deadlock``, ``collective_order`` mismatch or ``incomplete
+#:   collective`` is the runtime shape REPRO011 bans statically;
+#: * a ``recv_timeout`` is what REPRO012's missing guard turns into;
+#: * a ``byte_conservation`` failure means some payload's bytes were
+#:   never accounted end-to-end — the runtime face of REPRO013;
+#: * a ``race`` from the vector-clock sanitizer is the runtime twin of
+#:   REPRO006's unordered-iteration hazard: cross-rank state touched
+#:   without a happens-before edge.
+RUNTIME_CODES: dict[str, str] = {
+    "unmatched_send": "REPRO010",
+    "deadlock": "REPRO011",
+    "collective_order": "REPRO011",
+    "incomplete_collective": "REPRO011",
+    "recv_timeout": "REPRO012",
+    "byte_conservation": "REPRO013",
+    "race": "REPRO006",
+}
+
+_CODE_TO_NAME = {code: name for name, (code, _) in RULES.items()}
+
+
+def code_for(rule: str) -> str:
+    """Diagnostic code of a rule name (``'tag-pairing'`` -> ``'REPRO010'``)."""
+    return RULES[rule][0]
+
+
+def name_for(token: str) -> str | None:
+    """Normalise a waiver token (rule name or REPROxxx code) to a rule
+    name, or None if it names no known rule."""
+    if token in RULES:
+        return token
+    return _CODE_TO_NAME.get(token)

@@ -47,13 +47,16 @@ def to_chrome_trace(
     metadata, so the comm verifier's view and the timeline share one
     artifact.
     """
+    process_args: dict[str, Any] = {"name": label}
+    if trace.annotations:
+        process_args["annotations"] = dict(trace.annotations)
     events: list[dict[str, Any]] = [
         {
             "name": "process_name",
             "ph": "M",
             "pid": 0,
             "tid": 0,
-            "args": {"name": label},
+            "args": process_args,
         }
     ]
     for rank in sorted(trace.tracers):

@@ -205,6 +205,12 @@ class Trace:
 
     sample_every: int = 64
     tracers: dict[int, Tracer] = field(default_factory=dict)
+    annotations: dict[str, Any] = field(default_factory=dict)
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach a run-level annotation, exported with the trace
+        metadata (e.g. the sanitizer's final vector clocks)."""
+        self.annotations[key] = value
 
     def rank_tracer(self, rank: int, clock: ClockFn | None = None) -> Tracer:
         """Create (or return) the tracer for one rank track."""

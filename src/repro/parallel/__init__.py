@@ -1,9 +1,10 @@
-"""Parallel substrate: virtual-time MPI (simmpi), fault injection, and
-gather-scatter."""
+"""Parallel substrate: virtual-time MPI (simmpi), fault injection,
+gather-scatter, and the runtime determinism sanitizer."""
 
 from .distributed import DistributedHelmholtz
 from .faults import CrashSpec, FaultPlan, RankFailure, RecvTimeout
 from .gs import GatherScatter
+from .sanitizer import DeterminismError, Race, RaceDetector
 from .simmpi import VirtualCluster, VirtualComm, payload_bytes
 
 __all__ = [
@@ -16,4 +17,7 @@ __all__ = [
     "CrashSpec",
     "RankFailure",
     "RecvTimeout",
+    "DeterminismError",
+    "Race",
+    "RaceDetector",
 ]

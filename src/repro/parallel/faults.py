@@ -1,4 +1,3 @@
-# repro: waive-file[virtual-time] fault pricing manipulates the virtual clocks
 """Deterministic fault injection for the virtual cluster.
 
 The paper's "fact or fiction" question is really a question about

@@ -97,9 +97,11 @@ class GatherScatter:
             raise ValueError("values must align with shared_ids")
         out = values.copy()
         # Pairwise exchanges (deadlock-free: buffered sends first).
-        for partner, idx in self.pair_plan.items():
+        # sorted(): accumulation into out[idx] must visit partners in a
+        # rank-independent order for bitwise determinism.
+        for partner, idx in sorted(self.pair_plan.items()):
             self.comm.send(partner, values[idx], tag=71)
-        for partner, idx in self.pair_plan.items():
+        for partner, idx in sorted(self.pair_plan.items()):
             other = self.comm.recv(partner, tag=71)
             out[idx] += other
         # Binary-tree (allreduce) for dofs shared by >= 3 ranks.

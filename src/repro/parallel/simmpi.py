@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import math
 import pickle
+import sys
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -66,18 +67,28 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..analysis.vocab import RUNTIME_CODES
 from ..machines.cpu import CPUModel
 from ..machines.network import NetworkModel
 from ..obs import metrics
 from ..obs import tracer as obs
 from .faults import CrashSpec, FaultPlan, RankFailure, RecvTimeout
+from .sanitizer import DeterminismError, RaceDetector
 
 __all__ = [
     "CommVerificationError",
+    "DeterminismError",
     "VirtualCluster",
     "VirtualComm",
     "payload_bytes",
 ]
+
+
+def _code(kind: str) -> str:
+    """Shared-vocabulary suffix for runtime verifier problems, e.g.
+    `` [REPRO010]`` — appended so static and runtime findings about the
+    same defect class cite one diagnostic code."""
+    return f" [{RUNTIME_CODES[kind]}]"
 
 _TRACE_LEN = 64
 # Host-side safety net only: every state change that can satisfy a wait
@@ -208,6 +219,7 @@ class VirtualCluster:
         verify: bool = True,
         trace: obs.Trace | None = None,
         faults: FaultPlan | None = None,
+        sanitize: bool = False,
     ):
         if nprocs < 1:
             raise ValueError("need at least one rank")
@@ -219,6 +231,14 @@ class VirtualCluster:
         self.verify = verify
         self.trace = trace
         self.faults = faults
+        # Race-detector mode: piggyback vector clocks on the message
+        # graph and check declared shared accesses for happens-before
+        # ordering.  Charge-parity contract: the detector never touches
+        # the virtual clocks, byte ledgers or the OpCounter.
+        self.sanitize = sanitize
+        self._sanitizer: RaceDetector | None = (
+            RaceDetector(nprocs) if sanitize else None
+        )
         # Empty plan == no plan: every fault branch keys off this being
         # None, which is what makes the fault layer provably zero-cost.
         self._plan = None if faults is None or faults.is_empty else faults
@@ -307,7 +327,7 @@ class VirtualCluster:
             self._timed_out.update(timed)
             self._lock.notify_all()
             return False
-        problems = ["deadlock: every live rank is blocked"]
+        problems = [f"deadlock: every live rank is blocked{_code('deadlock')}"]
         problems.extend(f"rank {r} blocked in {desc}" for r, desc in blocked)
         traces = self.rank_traces([r for r, _ in blocked])
         for r, desc in blocked:
@@ -389,7 +409,7 @@ class VirtualCluster:
         crashed = set(self._crashed)
         undelivered = 0.0
         for (src, dst, tag), q in sorted(self._mailbox.items()):
-            for _obj, _ready, nbytes in q:
+            for _obj, _ready, nbytes, _vc in q:
                 undelivered += nbytes
                 msg = (
                     f"rank {src} -> rank {dst} tag={tag} "
@@ -403,7 +423,9 @@ class VirtualCluster:
                         f"t={self._crashed[who]:.6g})"
                     )
                 else:
-                    problems.append(f"unmatched send: {msg}")
+                    problems.append(
+                        f"unmatched send: {msg}{_code('unmatched_send')}"
+                    )
         for (kind, seq), coll in sorted(self._collectives.items()):
             if coll.arrived < coll.expected:
                 missing = sorted(set(range(self.nprocs)) - set(coll.data))
@@ -411,6 +433,7 @@ class VirtualCluster:
                     f"incomplete collective '{kind}' #{seq}: only "
                     f"{coll.arrived}/{coll.expected} ranks arrived "
                     f"(missing ranks {missing})"
+                    f"{_code('incomplete_collective')}"
                 )
                 if crashed:
                     # A crash tears every in-flight collective: ranks
@@ -426,6 +449,7 @@ class VirtualCluster:
                     problems.append(
                         f"collective ordering mismatch: rank 0 ran {ref} "
                         f"but rank {r} ran {st.coll_kinds}"
+                        f"{_code('collective_order')}"
                     )
                     break
             else:
@@ -436,6 +460,7 @@ class VirtualCluster:
                     problems.append(
                         f"collective ordering mismatch: rank 0 ran {ref} "
                         f"but rank {r} ran {st.coll_kinds}"
+                        f"{_code('collective_order')}"
                     )
                     break
         sent = sum(st.sent_bytes for st in self.ranks)
@@ -450,7 +475,7 @@ class VirtualCluster:
                 problems.append(
                     f"byte conservation violated after crash accounting: "
                     f"{sent:.0f} sent - {undelivered:.0f} undelivered != "
-                    f"{recvd:.0f} received"
+                    f"{recvd:.0f} received{_code('byte_conservation')}"
                 )
         elif sent != recvd:
             per_rank = ", ".join(
@@ -460,6 +485,7 @@ class VirtualCluster:
             problems.append(
                 f"byte conservation violated: {sent:.0f} bytes sent vs "
                 f"{recvd:.0f} bytes received cluster-wide ({per_rank})"
+                f"{_code('byte_conservation')}"
             )
         if problems:
             raise CommVerificationError(problems, self.rank_traces())
@@ -478,6 +504,9 @@ class VirtualCluster:
             self._timed_out.clear()
             self._crashed.clear()
             self._deadlock = None
+            if self.sanitize:
+                # Fresh clocks and access log per run.
+                self._sanitizer = RaceDetector(self.nprocs)
         threads = []
         for r in range(self.nprocs):
             comm = VirtualComm(self, r)
@@ -520,6 +549,20 @@ class VirtualCluster:
             # Prefer the root cause over secondary peer-failure aborts.
             roots = [e for e in errors if not isinstance(e, _PeerFailure)]
             raise roots[0] if roots else errors[0]
+        if self._sanitizer is not None:
+            races = self._sanitizer.races()
+            metrics.inc("sanitize.races", len(races))
+            if self.trace is not None:
+                self.trace.annotate(
+                    "sanitize.vector_clocks",
+                    {
+                        r: list(self._sanitizer.clock(r))
+                        for r in range(self.nprocs)
+                    },
+                )
+                self.trace.annotate("sanitize.races", len(races))
+            if races:
+                raise DeterminismError(races)
         if self.verify:
             self.verify_communication()
         return [st.result for st in self.ranks]
@@ -614,6 +657,33 @@ class VirtualComm:
             if c.at_step is not None and step >= c.at_step:
                 self._do_crash()
         return step
+
+    # -- sanitizer ------------------------------------------------------------------
+
+    def _record_shared(self, obj: Any, op: str, label: str | None) -> None:
+        det = self.cluster._sanitizer
+        if det is None:
+            return
+        frame = sys._getframe(2)
+        site = f"{frame.f_code.co_filename}:{frame.f_lineno}"
+        det.record(self.rank, obj, op, label, site)
+
+    def shared_read(self, obj: Any, label: str | None = None) -> Any:
+        """Declare a read of an object other ranks may also touch.
+
+        Returns ``obj`` unchanged.  A no-op (zero virtual cost) unless
+        the cluster runs with ``sanitize=True``, in which case the
+        access joins the vector-clock race check: a cross-rank write to
+        the same object with no happens-before edge to this read is
+        reported as a data race at finalize.
+        """
+        self._record_shared(obj, "read", label)
+        return obj
+
+    def shared_write(self, obj: Any, label: str | None = None) -> Any:
+        """Declare a write; see :meth:`shared_read`."""
+        self._record_shared(obj, "write", label)
+        return obj
 
     def _maybe_crash(self) -> None:
         """Die if this rank's wall clock has reached its crash time."""
@@ -729,10 +799,13 @@ class VirtualComm:
         # so byte conservation holds under any loss rate.
         self._st.sent_bytes += nbytes
         self._st.messages += 1
+        det = cl._sanitizer
+        # Piggybacked vector clock: pure detector state, never priced.
+        vc = None if det is None else det.on_send(self.rank)
         with cl._lock:
             self._st.trace.append(f"send -> {dest} tag={tag} ({nbytes}B)")
             key = (self.rank, dest, tag)
-            cl._mailbox.setdefault(key, deque()).append((obj, ready, nbytes))
+            cl._mailbox.setdefault(key, deque()).append((obj, ready, nbytes, vc))
             cl._lock.notify_all()
         tracer = obs.current()
         if tracer is not None:
@@ -804,7 +877,7 @@ class VirtualComm:
                     failure=crash_probe,
                 )
                 if got:
-                    obj, ready, nbytes = cl._mailbox[key][0]
+                    obj, ready, nbytes, sender_vc = cl._mailbox[key][0]
                     if cur_timeout is None or ready <= self._st.wall + cur_timeout:
                         cl._mailbox[key].popleft()
                         if not cl._mailbox[key]:
@@ -812,6 +885,8 @@ class VirtualComm:
                         self._st.trace.append(
                             f"recv <- {source} tag={tag} ({nbytes}B)"
                         )
+                        if cl._sanitizer is not None and sender_vc is not None:
+                            cl._sanitizer.on_recv(self.rank, sender_vc)
                         break
                     # A message exists but completes after the virtual
                     # deadline: this attempt times out; the message
@@ -906,6 +981,7 @@ class VirtualComm:
                                 f"{self.rank} enters '{kind}' as its "
                                 f"collective #{idx} but rank {r} ran "
                                 f"'{other.coll_kinds[idx]}' there"
+                                f"{_code('collective_order')}"
                             ],
                             traces,
                         )
@@ -923,6 +999,8 @@ class VirtualComm:
             self._st.trace.append(f"{kind} #{seq}")
             coll.data[self.rank] = contribution
             coll.arrived += 1
+            if cl._sanitizer is not None:
+                cl._sanitizer.collective_arrive(key, self.rank)
             coll.t_start = max(coll.t_start, self._st.wall)
             if coll.arrived == coll.expected:
                 coll.t_done = pricing(coll.t_start, coll.data)
@@ -936,7 +1014,9 @@ class VirtualComm:
                     # has not yet contributed is dead.
                     if cl._plan is None:
                         return None
-                    for dead, when in cl._crashed.items():
+                    # sorted(): which dead rank gets reported must not
+                    # depend on crash-registration (thread) order.
+                    for dead, when in sorted(cl._crashed.items()):
                         if dead not in coll.data:
                             return RankFailure(dead, when)
                     return None
@@ -950,6 +1030,10 @@ class VirtualComm:
             coll.released += 1
             out, t_done = coll.out, coll.t_done
             t_sync = coll.t_start  # final: all ranks have arrived
+            if cl._sanitizer is not None:
+                # A completed collective orders every pre-arrival event
+                # on any rank before every post-release event on all.
+                cl._sanitizer.collective_release(key, self.rank)
             if coll.released == coll.expected:
                 del cl._collectives[(key[0], key[1])]
         waited = max(0.0, t_done - self._st.wall)
@@ -1040,7 +1124,9 @@ class VirtualComm:
 
         def pricing(t0, data):
             sizes = [
-                payload_bytes(c) for chunk in data.values() for c in chunk
+                payload_bytes(c)
+                for _, chunk in sorted(data.items())
+                for c in chunk
             ]
             m = max(sizes) if sizes else 0
             t = t0 + stretch * net.alltoall_time(self.size, m) + overhead
@@ -1070,7 +1156,9 @@ class VirtualComm:
             "alltoall",
             chunks,
             pricing,
-            lambda data: {r: [data[s][r] for s in range(self.size)] for r in data},
+            lambda data: {
+                r: [data[s][r] for s in range(self.size)] for r in sorted(data)
+            },
         )
         return out[me]
 

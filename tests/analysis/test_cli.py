@@ -1,0 +1,171 @@
+"""CLI coverage for ``python -m repro.analysis``.
+
+Exercises the argument paths directly through ``main()``: file args,
+``--format json|sarif``, ``--select``, the findings baseline, and
+every exit code (0 clean, 1 findings/stale entries, 2 usage errors —
+including waivers and ``--select`` tokens naming unknown rules).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+VIOLATION = "import numpy as np\n\n\ndef kernel(a, x):\n    return np.dot(a, x)\n"
+CLEAN = "def add(a, b):\n    return a + b\n"
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "spectral"
+    pkg.mkdir(parents=True)
+    f = pkg / "injected.py"
+    f.write_text(VIOLATION)
+    return f
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "spectral"
+    pkg.mkdir(parents=True)
+    f = pkg / "fine.py"
+    f.write_text(CLEAN)
+    return f
+
+
+def test_clean_file_exits_zero(clean_file, capsys):
+    assert main([str(clean_file)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_violation_exits_one_with_text_diag(bad_file, capsys):
+    assert main([str(bad_file)]) == 1
+    captured = capsys.readouterr()
+    assert "injected.py:5:" in captured.out
+    assert "REPRO001" in captured.out
+    assert "problem(s) found" in captured.err
+
+
+def test_missing_path_exits_two(capsys):
+    assert main(["/no/such/path.py"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_format_json(bad_file, capsys):
+    assert main([str(bad_file), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    d = payload[0]
+    assert d["code"] == "REPRO001"
+    assert d["rule"] == "accounting"
+    assert d["line"] == 5
+    assert d["path"].endswith("injected.py")
+
+
+def test_format_sarif(bad_file, capsys):
+    assert main([str(bad_file), "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    # The SARIF rule table carries the whole catalog, REPRO000 included.
+    assert {"REPRO000", "REPRO001", "REPRO006", "REPRO010", "REPRO013"} <= rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "REPRO001"
+    assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 5
+
+
+def test_format_sarif_clean_run_has_empty_results(clean_file, capsys):
+    assert main([str(clean_file), "--format", "sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []
+
+
+def test_list_rules_includes_new_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("REPRO000", "REPRO004", "REPRO005", "REPRO006",
+                 "REPRO010", "REPRO011", "REPRO012", "REPRO013"):
+        assert code in out
+
+
+def test_select_restricts_and_forces_scope(tmp_path, capsys):
+    f = tmp_path / "fake_test.py"
+    f.write_text(
+        "import numpy as np\n\n\ndef noise(n):\n    return np.random.randn(n)\n"
+    )
+    # Outside the repro tree nothing fires by default...
+    assert main([str(f)]) == 0
+    # ...but the seed audit forces REPRO004 everywhere.
+    assert main([str(f), "--select", "REPRO004"]) == 1
+    assert "REPRO004" in capsys.readouterr().out
+    # And --select filters out other rules' findings.
+    assert main([str(f), "--select", "wall-clock"]) == 0
+
+
+def test_select_unknown_rule_exits_two(clean_file, capsys):
+    assert main([str(clean_file), "--select", "REPRO999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_unknown_waiver_rule_exits_nonzero(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "ns"
+    pkg.mkdir(parents=True)
+    f = pkg / "waived.py"
+    f.write_text("x = 1  # repro: waive[no-such-rule] because\n")
+    assert main([str(f)]) == 1
+    assert "REPRO000" in capsys.readouterr().out
+
+
+def test_stale_waiver_exits_nonzero(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "ns"
+    pkg.mkdir(parents=True)
+    f = pkg / "waived.py"
+    f.write_text("x = 1  # repro: waive[raw-numpy] nothing here to waive\n")
+    assert main([str(f)]) == 1
+    out = capsys.readouterr().out
+    assert "stale waiver" in out
+    assert "REPRO000" in out
+
+
+def test_baseline_suppresses_known_findings(bad_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([str(bad_file), "--baseline", str(baseline), "--write-baseline"]) == 0
+    capsys.readouterr()
+    # With the finding recorded, the same tree is "clean".
+    assert main([str(bad_file), "--baseline", str(baseline)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_baseline_reports_stale_entries(clean_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps({"findings": ["gone.py::REPRO001::accounting::old finding"]})
+    )
+    assert main([str(clean_file), "--baseline", str(baseline)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().err
+
+
+def test_baseline_does_not_hide_new_findings(bad_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"findings": []}))
+    assert main([str(bad_file), "--baseline", str(baseline)]) == 1
+    assert "REPRO001" in capsys.readouterr().out
+
+
+def test_missing_baseline_exits_two(clean_file, tmp_path, capsys):
+    assert main([str(clean_file), "--baseline", str(tmp_path / "nope.json")]) == 2
+    assert "no such baseline" in capsys.readouterr().err
+
+
+def test_malformed_baseline_exits_two(clean_file, tmp_path, capsys):
+    baseline = tmp_path / "bad.json"
+    baseline.write_text("[]")
+    assert main([str(clean_file), "--baseline", str(baseline)]) == 2
+    assert "bad baseline" in capsys.readouterr().err
+
+
+def test_write_baseline_requires_baseline_path(clean_file, capsys):
+    assert main([str(clean_file), "--write-baseline"]) == 2
+    assert "--write-baseline requires" in capsys.readouterr().err

@@ -294,9 +294,21 @@ def test_waiver_missing_reason_is_flagged():
 
 
 def test_rule_registry():
-    assert set(RULES) == {"accounting", "virtual-time", "raw-numpy"}
+    assert set(RULES) == {
+        "accounting",
+        "virtual-time",
+        "raw-numpy",
+        "unseeded-rng",
+        "wall-clock",
+        "unordered-iteration",
+        "tag-pairing",
+        "rank-conditional-collective",
+        "unguarded-recv",
+        "uncounted-payload",
+    }
     codes = [code for code, _ in RULES.values()]
-    assert len(set(codes)) == 3
+    assert len(set(codes)) == len(RULES)
+    assert all(code.startswith("REPRO") for code in codes)
 
 
 def test_syntax_error_reported_not_raised():
@@ -356,3 +368,305 @@ def test_batched_kernels_count_as_charging_substrate():
 
 def test_batched_kernels_pass_raw_numpy_rule():
     assert _lint(BATCHED_KERNEL, "src/repro/ns/fake.py") == []
+
+
+# ------------------------------------------------- determinism: unseeded-rng
+
+
+def test_unseeded_rng_global_numpy_draw_flagged():
+    src = """
+        import numpy as np
+
+        def noise(n):
+            return np.random.randn(n)
+    """
+    diags = _lint(src, "src/repro/util/fake.py")
+    assert _codes(diags) == ["REPRO004"]
+    assert "np" not in diags[0].message or "numpy.random" in diags[0].message
+
+
+def test_unseeded_rng_bare_default_rng_flagged():
+    src = """
+        import numpy as np
+
+        def gen():
+            return np.random.default_rng()
+    """
+    diags = _lint(src, "src/repro/ns/fake.py")
+    assert _codes(diags) == ["REPRO004"]
+    assert "without a seed" in diags[0].message
+
+
+def test_unseeded_rng_seeded_default_rng_passes():
+    src = """
+        import numpy as np
+
+        def gen():
+            return np.random.default_rng(1999)
+    """
+    assert _lint(src, "src/repro/ns/fake.py") == []
+
+
+def test_unseeded_rng_stdlib_random_flagged():
+    src = """
+        import random
+
+        def pick(xs):
+            return random.choice(xs)
+    """
+    diags = _lint(src, "src/repro/io/fake.py")
+    assert _codes(diags) == ["REPRO004"]
+
+
+def test_unseeded_rng_bound_generator_draw_passes():
+    # Draws on a local Generator object are fine: the seed is explicit
+    # at construction.
+    src = """
+        import numpy as np
+
+        def noise(n):
+            rng = np.random.default_rng(42)
+            return rng.normal(size=n)
+    """
+    assert _lint(src, "src/repro/ns/fake.py") == []
+
+
+def test_unseeded_rng_out_of_repro_tree_not_flagged_by_default():
+    src = """
+        import numpy as np
+
+        def noise(n):
+            return np.random.randn(n)
+    """
+    assert lint_source(textwrap.dedent(src), "tests/fake_test.py") == []
+
+
+def test_select_forces_rule_scope():
+    # The seed audit runs --select REPRO004 over tests/: the rule is
+    # forced in scope outside the repro tree.
+    src = """
+        import numpy as np
+
+        def noise(n):
+            return np.random.randn(n)
+    """
+    diags = lint_source(
+        textwrap.dedent(src), "tests/fake_test.py", select=["REPRO004"]
+    )
+    assert _codes(diags) == ["REPRO004"]
+
+
+def test_select_unknown_rule_raises():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_source("x = 1\n", "src/repro/ns/fake.py", select=["REPRO999"])
+
+
+# --------------------------------------------------- determinism: wall-clock
+
+
+def test_wall_clock_flagged_in_numeric_core():
+    src = """
+        import time
+
+        def assemble(a):
+            t0 = time.perf_counter()
+            return a, t0
+    """
+    diags = _lint(src, "src/repro/assembly/fake.py")
+    assert _codes(diags) == ["REPRO005"]
+    assert diags[0].rule == "wall-clock"
+
+
+def test_wall_clock_defers_to_virtual_time_in_parallel():
+    # In ns/parallel the stricter REPRO002 owns clock reads.
+    src = """
+        import time
+
+        def step(state):
+            return time.perf_counter()
+    """
+    diags = _lint(src, "src/repro/parallel/fake.py")
+    assert _codes(diags) == ["REPRO002"]
+
+
+def test_wall_clock_not_flagged_in_util():
+    # util/ hosts the sanctioned StageTimer.
+    src = """
+        import time
+
+        def stamp():
+            return time.perf_counter()
+    """
+    assert _lint(src, "src/repro/util/fake.py") == []
+
+
+def test_wall_clock_waived():
+    src = """
+        import time
+
+        def assemble(a):
+            t0 = time.perf_counter()  # repro: waive[wall-clock] host-side progress meter
+            return a, t0
+    """
+    assert _lint(src, "src/repro/assembly/fake.py") == []
+
+
+# ------------------------------------------ determinism: unordered-iteration
+
+
+RANK_KEYED_LOOP = """
+    def exchange(comm, values):
+        inbox = {}
+        for peer in range(comm.size):
+            if peer != comm.rank:
+                inbox[peer] = comm.recv(peer, tag=3)
+        total = 0.0
+        for peer, val in inbox.items():
+            total += val
+        return total
+"""
+
+
+def test_unordered_iteration_rank_keyed_dict_flagged():
+    diags = _lint(RANK_KEYED_LOOP, "src/repro/parallel/fake.py")
+    codes = _codes(diags)
+    assert "REPRO006" in codes
+    d = next(d for d in diags if d.code == "REPRO006")
+    assert "inbox" in d.message
+
+
+def test_unordered_iteration_sorted_wrapper_passes():
+    src = RANK_KEYED_LOOP.replace("inbox.items()", "sorted(inbox.items())")
+    diags = _lint(src, "src/repro/parallel/fake.py")
+    assert "REPRO006" not in _codes(diags)
+
+
+def test_unordered_iteration_set_flagged():
+    src = """
+        def merge(comm, ids):
+            out = []
+            for i in {3, 1, 2}:
+                out.append(i)
+            return out
+    """
+    diags = _lint(src, "src/repro/fourier/fake.py")
+    assert _codes(diags) == ["REPRO006"]
+    assert "set" in diags[0].message
+
+
+def test_unordered_iteration_sum_over_set_exempt():
+    # Order-insensitive reductions over sets are fine.
+    src = """
+        def total(comm, ids):
+            return sum(i for i in {3, 1, 2})
+    """
+    assert _lint(src, "src/repro/fourier/fake.py") == []
+
+
+def test_unordered_iteration_plain_dict_not_flagged():
+    # Dicts not keyed by rank iterate in insertion order — deterministic.
+    src = """
+        def tally(comm, words):
+            counts = {}
+            for w in words:
+                counts[w] = counts.get(w, 0) + 1
+            return [counts[w] for w in counts]
+    """
+    assert _lint(src, "src/repro/parallel/fake.py") == []
+
+
+def test_unordered_iteration_out_of_scope_package():
+    src = """
+        def pick(ids):
+            return [i for i in {3, 1, 2}]
+    """
+    assert _lint(src, "src/repro/util/fake.py") == []
+
+
+def test_unordered_iteration_waived():
+    src = RANK_KEYED_LOOP.replace(
+        "for peer, val in inbox.items():",
+        "for peer, val in inbox.items():  # repro: waive[unordered-iteration] summation is commutative here",
+    )
+    diags = _lint(src, "src/repro/parallel/fake.py")
+    assert "REPRO006" not in _codes(diags)
+
+
+# --------------------------------------- waiver matching (multi-line, decorated)
+
+
+def test_waiver_on_any_line_of_multiline_statement():
+    # The violating call spans lines 5-8; the waiver sits on the closing
+    # line, far from the first line the diagnostic anchors to.
+    src = """
+        import numpy as np
+
+        def tabulate(a, b):
+            return np.einsum(
+                "ij,jk->ik",
+                a,
+                b,
+            )  # repro: waive[accounting] one-time setup table
+    """
+    assert _lint(src, "src/repro/spectral/fake.py") == []
+
+
+def test_waiver_above_decorated_def():
+    src = """
+        import functools
+        import numpy as np
+
+        # repro: waive[accounting] cached one-time table
+        @functools.lru_cache(maxsize=None)
+        def tabulate(a, b):
+            return np.einsum("ij,jk->ik", a, b)
+    """
+    assert _lint(src, "src/repro/spectral/fake.py") == []
+
+
+def test_waiver_between_decorator_and_def():
+    src = """
+        import functools
+        import numpy as np
+
+        @functools.lru_cache(maxsize=None)
+        # repro: waive[accounting] cached one-time table
+        def tabulate(a, b):
+            return np.einsum("ij,jk->ik", a, b)
+    """
+    assert _lint(src, "src/repro/spectral/fake.py") == []
+
+
+def test_waiver_accepts_rule_code_token():
+    src = """
+        import numpy as np
+
+        def f(a, x):
+            return a @ x  # repro: waive[REPRO003] complex-valued, charged explicitly
+    """
+    diags = _lint(src, "src/repro/ns/fake.py")
+    assert "REPRO003" not in _codes(diags)
+
+
+def test_stale_waiver_reported():
+    src = """
+        def f(a, x):
+            return a + x  # repro: waive[raw-numpy] there is nothing to waive
+    """
+    diags = _lint(src, "src/repro/ns/fake.py")
+    assert _codes(diags) == ["REPRO000"]
+    assert "stale" in diags[0].message
+
+
+def test_stale_waiver_not_reported_under_select():
+    # A partial run can't judge staleness.
+    src = """
+        def f(a, x):
+            return a + x  # repro: waive[raw-numpy] there is nothing to waive
+    """
+    diags = lint_source(
+        textwrap.dedent(src), "src/repro/ns/fake.py", select=["unseeded-rng"]
+    )
+    assert diags == []

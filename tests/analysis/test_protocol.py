@@ -1,0 +1,318 @@
+"""Tests for the communication-protocol checker (REPRO010-REPRO013).
+
+Covers the acceptance criterion: a deliberately planted mismatched tag
+pair is caught statically, plus the rank-conditional-collective,
+unguarded-recv and uncounted-payload rules each with a violating, a
+passing and a waived fixture.
+"""
+
+import textwrap
+
+from repro.analysis import lint_files, lint_source
+
+
+def _lint(src, path="src/repro/parallel/fake.py", select=None):
+    return lint_source(textwrap.dedent(src), path, select=select)
+
+
+def _codes(diags):
+    return [d.code for d in diags]
+
+
+# --------------------------------------------------------- REPRO010 pairing
+
+
+MISMATCHED_TAGS = """
+    def exchange(comm, x):
+        comm.send(1 - comm.rank, x, tag=7)
+        return comm.recv(1 - comm.rank, tag=8)
+"""
+
+
+def test_planted_tag_mismatch_detected():
+    diags = _lint(MISMATCHED_TAGS)
+    codes = _codes(diags)
+    assert codes.count("REPRO010") == 2  # the orphaned send AND recv
+    send_d = next(d for d in diags if "send with tag=7" in d.message)
+    recv_d = next(d for d in diags if "recv with tag=8" in d.message)
+    assert send_d.rule == recv_d.rule == "tag-pairing"
+
+
+def test_matched_tags_pass():
+    src = MISMATCHED_TAGS.replace("tag=8", "tag=7")
+    assert _lint(src) == []
+
+
+def test_default_tags_pair():
+    src = """
+        def exchange(comm, x):
+            comm.send(1 - comm.rank, x)
+            return comm.recv(1 - comm.rank)
+    """
+    assert _lint(src) == []
+
+
+def test_sendrecv_contributes_both_directions():
+    src = """
+        def exchange(comm, x):
+            return comm.sendrecv(1 - comm.rank, x, 1 - comm.rank, tag=5)
+    """
+    assert _lint(src) == []
+
+
+def test_nonconstant_tag_skipped():
+    # The checker only reports what it can prove.
+    src = """
+        def exchange(comm, x, tag):
+            comm.send(1 - comm.rank, x, tag=tag)
+            return comm.recv(1 - comm.rank, tag=tag)
+    """
+    assert _lint(src) == []
+
+
+def test_pairing_is_corpus_wide(tmp_path):
+    # The send lives in one file, the recv in another: pairing must span
+    # the corpus, and an orphan in either file is still caught.
+    pkg = tmp_path / "src" / "repro" / "parallel"
+    pkg.mkdir(parents=True)
+    (pkg / "producer.py").write_text(
+        "def push(comm, x):\n    comm.send(1, x, tag=31)\n"
+    )
+    (pkg / "consumer.py").write_text(
+        "def pull(comm):\n    return comm.recv(0, tag=31)\n"
+    )
+    assert lint_files([pkg / "producer.py", pkg / "consumer.py"]) == []
+    (pkg / "consumer.py").write_text(
+        "def pull(comm):\n    return comm.recv(0, tag=32)\n"
+    )
+    diags = lint_files([pkg / "producer.py", pkg / "consumer.py"])
+    assert _codes(diags) == ["REPRO010", "REPRO010"]
+
+
+def test_tag_mismatch_waivable():
+    src = """
+        def exchange(comm, x):
+            comm.send(1 - comm.rank, x, tag=7)  # repro: waive[tag-pairing] peer uses dynamic tags
+            return comm.recv(1 - comm.rank, tag=8)  # repro: waive[REPRO010] peer uses dynamic tags
+    """
+    assert _lint(src) == []
+
+
+def test_comm_attribute_chain_recognized():
+    src = """
+        class Exchanger:
+            def __init__(self, comm):
+                self.comm = comm
+
+            def run(self, x):
+                self.comm.send(1, x, tag=9)
+                return None
+    """
+    diags = _lint(src)
+    assert _codes(diags) == ["REPRO010"]
+
+
+# ------------------------------------------ REPRO011 conditional collectives
+
+
+def test_rank_conditional_collective_flagged():
+    src = """
+        def reduce_root(comm, x):
+            if comm.rank == 0:
+                comm.barrier()
+            return x
+    """
+    diags = _lint(src)
+    assert _codes(diags) == ["REPRO011"]
+    assert "barrier" in diags[0].message
+    assert "deadlock" in diags[0].message
+
+
+def test_unconditional_collective_passes():
+    src = """
+        def reduce_all(comm, x):
+            comm.barrier()
+            return comm.allreduce(x)
+    """
+    assert _lint(src) == []
+
+
+def test_rank_independent_conditional_passes():
+    src = """
+        def maybe_sync(comm, every, step):
+            if step % every == 0:
+                comm.barrier()
+            return step
+    """
+    assert _lint(src) == []
+
+
+def test_rank_conditional_while_flagged():
+    src = """
+        def drain(comm):
+            while comm.rank < comm.size - 1:
+                comm.allreduce(1.0)
+                break
+    """
+    diags = _lint(src)
+    assert _codes(diags) == ["REPRO011"]
+
+
+def test_nested_def_resets_conditional_context():
+    # The closure is defined (not called) under the conditional.
+    src = """
+        def build(comm):
+            if comm.rank == 0:
+                def sync():
+                    comm.barrier()
+                return sync
+            return None
+    """
+    assert _lint(src) == []
+
+
+def test_rank_conditional_collective_waived():
+    src = """
+        def reduce_root(comm, x):
+            if comm.rank == 0:
+                comm.barrier()  # repro: waive[rank-conditional-collective] all ranks take this branch: guarded by caller
+            return x
+    """
+    assert _lint(src) == []
+
+
+# --------------------------------------------------- REPRO012 unguarded recv
+
+
+FAULTY_RECV = """
+    from repro.parallel.faults import FaultPlan
+
+    def pull(comm, plan: FaultPlan):
+        return comm.recv(0, tag=3)
+
+    def push(comm, x):
+        comm.send(1, x, tag=3)
+"""
+
+
+def test_unguarded_recv_in_fault_bearing_module_flagged():
+    diags = _lint(FAULTY_RECV)
+    assert _codes(diags) == ["REPRO012"]
+    assert "timeout" in diags[0].message
+
+
+def test_recv_with_timeout_passes():
+    src = FAULTY_RECV.replace(
+        "comm.recv(0, tag=3)", "comm.recv(0, tag=3, timeout=1.0, retries=2)"
+    )
+    assert _lint(src) == []
+
+
+def test_recv_in_guarding_try_passes():
+    src = """
+        from repro.parallel.faults import FaultPlan, RecvTimeout
+
+        def pull(comm, plan: FaultPlan):
+            try:
+                return comm.recv(0, tag=3)
+            except RecvTimeout:
+                return None
+
+        def push(comm, x):
+            comm.send(1, x, tag=3)
+    """
+    assert _lint(src) == []
+
+
+def test_recv_without_fault_machinery_not_flagged():
+    # No fault plan in sight: a plain blocking recv is the normal idiom.
+    src = """
+        def pull(comm):
+            return comm.recv(0, tag=3)
+
+        def push(comm, x):
+            comm.send(1, x, tag=3)
+    """
+    assert _lint(src) == []
+
+
+def test_fault_plan_keyword_marks_module_fault_bearing():
+    src = """
+        def run(comm, make_cluster):
+            cl = make_cluster(faults=None)
+            return comm.recv(0, tag=3)
+
+        def push(comm, x):
+            comm.send(1, x, tag=3)
+    """
+    diags = _lint(src)
+    assert _codes(diags) == ["REPRO012"]
+
+
+# ------------------------------------------------- REPRO013 uncounted payload
+
+
+def test_inline_compute_payload_flagged():
+    src = """
+        import numpy as np
+
+        def push(comm, a, b):
+            comm.send(1, a @ b, tag=4)
+
+        def pull(comm):
+            return comm.recv(0, tag=4)
+    """
+    diags = _lint(src, path="src/repro/apps/fake.py")
+    codes = _codes(diags)
+    # The inline matmul in a rank function also (correctly) trips the
+    # raw-numpy rule; the payload rule is the one under test here.
+    assert "REPRO013" in codes
+    d = next(d for d in diags if d.code == "REPRO013")
+    assert "payload" in d.message
+
+
+def test_precomputed_payload_passes():
+    src = """
+        import numpy as np
+
+        def push(comm, a, b, charged_matmul):
+            y = charged_matmul(a, b)
+            comm.send(1, y, tag=4)
+
+        def pull(comm):
+            return comm.recv(0, tag=4)
+    """
+    assert _lint(src, path="src/repro/apps/fake.py") == []
+
+
+def test_inline_compute_payload_waived():
+    src = """
+        import numpy as np
+
+        def push(comm, a, b):
+            comm.send(1, a @ b, tag=4)  # repro: waive[uncounted-payload] charged by caller  # repro: waive[raw-numpy] charged by caller
+
+        def pull(comm):
+            return comm.recv(0, tag=4)
+    """
+    diags = _lint(src, path="src/repro/apps/fake.py")
+    assert "REPRO013" not in _codes(diags)
+
+
+# ----------------------------------------------------------- scope and select
+
+
+def test_protocol_rules_scoped_to_repro_tree():
+    diags = lint_source(
+        textwrap.dedent(MISMATCHED_TAGS), "tests/fake_test.py"
+    )
+    assert diags == []
+
+
+def test_protocol_rules_forced_by_select():
+    diags = lint_source(
+        textwrap.dedent(MISMATCHED_TAGS),
+        "tests/fake_test.py",
+        select=["tag-pairing"],
+    )
+    assert _codes(diags) == ["REPRO010", "REPRO010"]

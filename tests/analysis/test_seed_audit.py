@@ -1,0 +1,56 @@
+"""Seed audit: the determinism rules hold over tests/ and benchmarks/.
+
+Every random draw in the test and benchmark trees must come from an
+explicitly seeded generator — an unseeded draw anywhere in the harness
+can leak into a golden trajectory or a BENCH baseline and make a
+regression irreproducible.  The audit runs the REPRO004 rule in forced
+scope (``--select`` semantics) over both trees, which is exactly what
+``python -m repro.analysis --select REPRO004 tests benchmarks`` does in
+CI.  An injection fixture proves the audit bites.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths
+
+REPO = Path(repro.__file__).resolve().parents[2]
+
+
+def _audit(paths, select=("unseeded-rng",)):
+    return lint_paths(paths, select=list(select))
+
+
+def test_tests_tree_has_no_unseeded_draws():
+    diags = _audit([REPO / "tests"])
+    assert diags == [], "\n" + "\n".join(d.format() for d in diags)
+
+
+def test_benchmarks_tree_has_no_unseeded_draws():
+    diags = _audit([REPO / "benchmarks"])
+    assert diags == [], "\n" + "\n".join(d.format() for d in diags)
+
+
+def test_examples_tree_has_no_unseeded_draws():
+    diags = _audit([REPO / "examples"])
+    assert diags == [], "\n" + "\n".join(d.format() for d in diags)
+
+
+def test_audit_catches_injected_unseeded_draw(tmp_path):
+    f = tmp_path / "test_evil.py"
+    f.write_text(
+        "import numpy as np\n\n\ndef test_noise():\n"
+        "    assert np.random.rand(3).shape == (3,)\n"
+    )
+    diags = _audit([tmp_path])
+    assert [d.code for d in diags] == ["REPRO004"]
+    assert diags[0].line == 5
+
+
+def test_audit_catches_bare_default_rng(tmp_path):
+    f = tmp_path / "test_evil.py"
+    f.write_text(
+        "import numpy as np\n\nRNG = np.random.default_rng()\n"
+    )
+    diags = _audit([tmp_path])
+    assert [d.code for d in diags] == ["REPRO004"]
