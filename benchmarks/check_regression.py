@@ -65,7 +65,24 @@ def _walk(fresh, baseline, path, warnings, failures, timing_rtol):
                 warnings.append(f"{path}.{key}: new metric (not in baseline)")
         return
 
-    leaf = path.rsplit(".", 1)[-1]
+    if isinstance(baseline, list):
+        # Recurse element-wise so timing keys inside list entries (the
+        # sweep-of-cases shape: [{"nprocs": ..., "elapsed_s": ...}, ...])
+        # keep their warn-only treatment.  A length change means the
+        # sweep itself changed: hard failure.
+        if not isinstance(fresh, list):
+            failures.append(f"{path}: expected list, got {type(fresh).__name__}")
+            return
+        if len(fresh) != len(baseline):
+            failures.append(
+                f"{path}: length changed {len(baseline)} -> {len(fresh)}"
+            )
+            return
+        for i, (f_item, b_item) in enumerate(zip(fresh, baseline)):
+            _walk(f_item, b_item, f"{path}[{i}]", warnings, failures, timing_rtol)
+        return
+
+    leaf = path.rsplit(".", 1)[-1].split("[", 1)[0]
     if isinstance(baseline, (int, float)) and not isinstance(baseline, bool):
         if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
             failures.append(f"{path}: {baseline!r} -> {fresh!r} (type change)")

@@ -99,3 +99,51 @@ def test_committed_smoke_baselines_exist():
         doc = json.loads((base_dir / name).read_text())
         assert doc["config"]["smoke"] is True
         assert doc["charges_identical"] is True
+
+
+LIST_BASELINE = {
+    "sweep": [
+        {"nprocs": 16, "elapsed_s": 0.1, "bytes_sent": 1000.0},
+        {"nprocs": 64, "elapsed_s": 0.4, "bytes_sent": 4000.0},
+    ]
+}
+
+
+def test_lists_recurse_timing_vs_accounting():
+    # Host timing inside a list entry: warn only.
+    fresh = json.loads(json.dumps(LIST_BASELINE))
+    fresh["sweep"][1]["elapsed_s"] = 40.0
+    warnings, failures = compare(fresh, LIST_BASELINE)
+    assert failures == []
+    assert any("sweep[1].elapsed_s" in w for w in warnings)
+    # Accounting drift inside a list entry: hard failure.
+    fresh = json.loads(json.dumps(LIST_BASELINE))
+    fresh["sweep"][0]["bytes_sent"] += 8.0
+    _warnings, failures = compare(fresh, LIST_BASELINE)
+    assert any("sweep[0].bytes_sent" in f for f in failures)
+
+
+def test_list_shape_changes_hard_fail():
+    fresh = json.loads(json.dumps(LIST_BASELINE))
+    fresh["sweep"].append({"nprocs": 256, "elapsed_s": 1.0, "bytes_sent": 1.0})
+    _warnings, failures = compare(fresh, LIST_BASELINE)
+    assert any("length changed 2 -> 3" in f for f in failures)
+    _warnings, failures = compare({"sweep": "oops"}, LIST_BASELINE)
+    assert any("expected list" in f for f in failures)
+
+
+def test_committed_scaling_baseline_is_hard_gated():
+    """Every non-``_s`` number in BENCH_scaling_smoke.json is a virtual
+    clock, a byte/message ledger, or a scheduler counter — the gate must
+    treat all of them as deterministic."""
+    base_dir = Path(__file__).parent / "baselines"
+    doc = json.loads((base_dir / "BENCH_scaling_smoke.json").read_text())
+    assert doc["config"]["smoke"] is True
+    mutated = json.loads(json.dumps(doc))
+    mutated["alltoall"][0]["scheduler"]["scheduler.switches"] += 1.0
+    _warnings, failures = compare(mutated, doc)
+    assert any("scheduler.switches" in f for f in failures)
+    mutated = json.loads(json.dumps(doc))
+    mutated["alltoall"][0]["elapsed_s"] *= 100.0
+    warnings, failures = compare(mutated, doc)
+    assert failures == [] and any("elapsed_s" in w for w in warnings)

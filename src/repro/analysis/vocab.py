@@ -87,7 +87,13 @@ RULES: dict[str, tuple[str, str]] = {
 #:   never accounted end-to-end — the runtime face of REPRO013;
 #: * a ``race`` from the vector-clock sanitizer is the runtime twin of
 #:   REPRO006's unordered-iteration hazard: cross-rank state touched
-#:   without a happens-before edge.
+#:   without a happens-before edge;
+#: * a ``scheduler_stall`` is runtime-only (no static twin): the host
+#:   scheduler found no runnable rank yet the virtual-semantics
+#:   classifier declined to call it a communication deadlock — a broken
+#:   engine invariant (lost wakeup, defeated classifier), surfaced as a
+#:   typed :class:`repro.parallel.scheduler.SchedulerDeadlock` instead
+#:   of a hang.
 RUNTIME_CODES: dict[str, str] = {
     "unmatched_send": "REPRO010",
     "deadlock": "REPRO011",
@@ -96,6 +102,7 @@ RUNTIME_CODES: dict[str, str] = {
     "recv_timeout": "REPRO012",
     "byte_conservation": "REPRO013",
     "race": "REPRO006",
+    "scheduler_stall": "REPRO014",
 }
 
 _CODE_TO_NAME = {code: name for name, (code, _) in RULES.items()}

@@ -1,0 +1,269 @@
+"""Scaling benchmark: O(1000)-rank virtual clusters on the event engine.
+
+The paper stops at 64 processors because that is where its PC/Linux
+cluster stopped; the ROADMAP's question is what the *model* says beyond
+that.  This harness drives the event-driven simmpi scheduler through
+the communication patterns that dominate the paper's solvers — a
+nearest-neighbour ring exchange (the gather-scatter shape) and the
+Fourier-direction Alltoall sweep (NekTar-F's transpose) — at rank
+counts the legacy thread-per-rank engine cannot reach, plus one fault
+storm (loss + stragglers + a degraded link) at an intermediate size.
+
+Three kinds of quantities are recorded:
+
+* **virtual clocks and charge counters** (``wall_virtual``,
+  ``cpu_virtual``, ``comm.*`` / ``faults.*`` counter values) —
+  deterministic properties of the pricing model, hard-gated by
+  ``benchmarks/check_regression.py``;
+* **host scheduler statistics** (``scheduler.switches`` /
+  ``scheduler.wakeups``) — deterministic properties of the cooperative
+  schedule, also hard-gated: an unintended change in how the engine
+  dispatches ranks shows up here before it shows up anywhere else;
+* **host elapsed times** (``*_s`` keys) — machine-dependent, warn-only
+  under the regression gate.
+
+An engine-parity section re-runs the small cases on the legacy thread
+engine and asserts byte-identical virtual clocks and ledgers — the
+differential oracle riding inside the benchmark.
+
+Writes ``BENCH_scaling.json``.  Run as a script::
+
+    python -m repro.apps.scaling_bench [--smoke] [--out BENCH_scaling.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from ..machines.network import NetworkModel
+from ..obs import MetricsRegistry, use_registry
+from ..parallel.faults import FaultPlan
+from ..parallel.simmpi import VirtualCluster
+
+__all__ = ["run_bench", "main"]
+
+# A paper-plausible commodity fabric (100 Mbit/s, 10 us latency) priced
+# directly rather than via the catalog: the sweep is about scheduler
+# scale, and a fixed synthetic network keeps the numbers self-contained.
+# Kernel-mediated (nonzero per-byte protocol CPU) so the loss model of
+# the fault storm applies — loss only injects on TCP-style fabrics.
+NETWORK = NetworkModel(
+    "scaling-eth",
+    latency_us=10,
+    bandwidth=100e6,
+    cpu_overhead_per_byte=2e-9,
+    busy_wait_fraction=0.1,
+)
+
+RANKS_FULL = (64, 256, 1024)
+RANKS_SMOKE = (16, 64, 256)
+# Engine parity is only checked at sizes the thread engine handles
+# comfortably (the ISSUE pins the oracle at <= 64 ranks).
+PARITY_MAX_RANKS = 64
+ALLTOALL_DOUBLES = (64, 512)  # per-destination chunk lengths
+RING_ROUNDS = 4
+RING_DOUBLES = 256
+SEED = 1999  # SC99
+STORM_PLAN = FaultPlan(
+    seed=SEED,
+    loss_rate=0.05,
+    stragglers={1: 1.5, 5: 2.0},
+    degraded_links={(0, 1): 3.0},
+)
+
+
+def _ring_program(rounds: int = RING_ROUNDS, ndoubles: int = RING_DOUBLES):
+    def rank_fn(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        buf = np.full(ndoubles, float(comm.rank))
+        acc = 0.0
+        for _ in range(rounds):
+            comm.send(right, buf, tag=5)
+            # Guarded recv: the harness is fault-bearing (the storm
+            # section), so a dropped message must surface as a priced
+            # retransmit, never a hang.
+            buf = comm.recv(left, tag=5, timeout=5.0, retries=2)
+            acc += float(buf[0])
+        return acc
+
+    return rank_fn
+
+
+def _alltoall_program(ndoubles_list=ALLTOALL_DOUBLES):
+    def rank_fn(comm):
+        checks = []
+        for n in ndoubles_list:
+            chunk = np.full(n, float(comm.rank))
+            out = comm.alltoall([chunk] * comm.size)
+            # Every rank contributed its own id: the received chunks
+            # must carry ids 0..P-1 in order.
+            checks.append(float(sum(c[0] for c in out)))
+        comm.barrier()
+        return checks
+
+    return rank_fn
+
+
+def _fingerprint(cluster):
+    """Deterministic per-run summary: clocks, ledgers, scheduler."""
+    return {
+        "wall_virtual": cluster.max_wall,
+        "cpu_virtual": cluster.max_cpu,
+        "bytes_sent": sum(st.sent_bytes for st in cluster.ranks),
+        "messages": sum(st.messages for st in cluster.ranks),
+        "scheduler": cluster.engine_stats(),
+    }
+
+
+def _run_case(nprocs, rank_fn, faults=None, engine="event"):
+    registry = MetricsRegistry()
+    cluster = VirtualCluster(
+        nprocs, network=NETWORK, faults=faults, engine=engine
+    )
+    t0 = time.perf_counter()
+    with use_registry(registry):
+        results = cluster.run(rank_fn)
+    elapsed = time.perf_counter() - t0
+    snap = registry.snapshot()
+
+    def counter(name):
+        return snap.get(name, {}).get("value", 0.0)
+
+    case = _fingerprint(cluster)
+    case.update(
+        {
+            "nprocs": nprocs,
+            "elapsed_s": elapsed,
+            "sends": counter("comm.sends"),
+            "collectives": counter("comm.collectives"),
+            "retransmits": counter("faults.retransmits"),
+        }
+    )
+    return case, results, cluster
+
+
+def _parity_check(nprocs, rank_fn, faults=None):
+    """Run on both engines; assert byte-identical clocks and ledgers."""
+    per_engine = {}
+    for engine in ("event", "threads"):
+        _case, results, cluster = _run_case(
+            nprocs, rank_fn, faults=faults, engine=engine
+        )
+        per_engine[engine] = {
+            "results": results,
+            "ranks": [
+                (st.wall, st.cpu, st.sent_bytes, st.recv_bytes, st.messages)
+                for st in cluster.ranks
+            ],
+            "traces": cluster.rank_traces(),
+        }
+    ev, th = per_engine["event"], per_engine["threads"]
+    if ev["ranks"] != th["ranks"] or ev["traces"] != th["traces"]:
+        raise AssertionError(
+            f"engine parity broken at {nprocs} ranks: event != threads"
+        )
+    if repr(ev["results"]) != repr(th["results"]):
+        raise AssertionError(
+            f"engine parity broken at {nprocs} ranks: results differ"
+        )
+    return {
+        "nprocs": nprocs,
+        "wall_virtual": max(r[0] for r in ev["ranks"]),
+        "identical": True,
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    rank_counts = RANKS_SMOKE if smoke else RANKS_FULL
+    storm_ranks = rank_counts[1]
+    results: dict = {
+        "config": {
+            "smoke": smoke,
+            "network": NETWORK.name,
+            "rank_counts": list(rank_counts),
+            "alltoall_doubles": list(ALLTOALL_DOUBLES),
+            "ring_rounds": RING_ROUNDS,
+            "ring_doubles": RING_DOUBLES,
+            "storm_ranks": storm_ranks,
+            "seed": SEED,
+        },
+        "ring": [],
+        "alltoall": [],
+    }
+    for nprocs in rank_counts:
+        case, _res, _cl = _run_case(nprocs, _ring_program())
+        results["ring"].append(case)
+        case, res, _cl = _run_case(nprocs, _alltoall_program())
+        # Data correctness at every scale: each received sweep sums the
+        # full rank-id range.
+        expect = [float(nprocs * (nprocs - 1) // 2)] * len(ALLTOALL_DOUBLES)
+        if any(r != expect for r in res):
+            raise AssertionError(f"alltoall data wrong at {nprocs} ranks")
+        results["alltoall"].append(case)
+
+    storm_case, _res, _cl = _run_case(
+        storm_ranks, _alltoall_program(), faults=STORM_PLAN
+    )
+    if storm_case["retransmits"] <= 0:
+        raise AssertionError("fault storm injected no retransmits")
+    clean = next(
+        c for c in results["alltoall"] if c["nprocs"] == storm_ranks
+    )
+    if storm_case["wall_virtual"] <= clean["wall_virtual"]:
+        raise AssertionError("fault storm did not inflate the wall clock")
+    results["fault_storm"] = storm_case
+
+    results["parity"] = [
+        _parity_check(n, _alltoall_program())
+        for n in rank_counts
+        if n <= PARITY_MAX_RANKS
+    ] + [
+        _parity_check(
+            min(PARITY_MAX_RANKS, storm_ranks),
+            _alltoall_program(),
+            faults=STORM_PLAN,
+        )
+    ]
+
+    # The tentpole's acceptance shape: virtual Alltoall cost must grow
+    # with rank count (the model sees the scaling wall) while the host
+    # cost stays tractable (the scheduler does not).
+    walls = [c["wall_virtual"] for c in results["alltoall"]]
+    if not all(b < a for b, a in zip(walls, walls[1:])):
+        raise AssertionError(f"alltoall virtual wall not increasing: {walls}")
+    return results
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced size for CI smoke runs"
+    )
+    parser.add_argument("--out", default="BENCH_scaling.json", help="output path")
+    args = parser.parse_args(argv)
+    results = run_bench(smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for case in results["alltoall"]:
+        print(
+            f"alltoall P={case['nprocs']:5d}  "
+            f"virtual wall {case['wall_virtual']:.4g}s  "
+            f"host {case['elapsed_s']:.2f}s  "
+            f"switches {case['scheduler'].get('scheduler.switches', 0):.0f}"
+        )
+    print(
+        f"fault storm P={results['fault_storm']['nprocs']}: "
+        f"{results['fault_storm']['retransmits']:.0f} retransmits; "
+        f"parity cases: {len(results['parity'])} identical -> {args.out}"
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

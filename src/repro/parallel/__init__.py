@@ -5,6 +5,7 @@ from .distributed import DistributedHelmholtz
 from .faults import CrashSpec, FaultPlan, RankFailure, RecvTimeout
 from .gs import GatherScatter
 from .sanitizer import DeterminismError, Race, RaceDetector
+from .scheduler import ENGINES, SchedulerDeadlock
 from .simmpi import VirtualCluster, VirtualComm, payload_bytes
 
 __all__ = [
@@ -13,6 +14,8 @@ __all__ = [
     "GatherScatter",
     "DistributedHelmholtz",
     "payload_bytes",
+    "ENGINES",
+    "SchedulerDeadlock",
     "FaultPlan",
     "CrashSpec",
     "RankFailure",

@@ -254,6 +254,20 @@ class FaultPlan:
             f = self.degraded_links.get((b, a), 1.0)
         return float(f)
 
+    def max_link_factor(self, nprocs: int) -> float:
+        """Worst slowdown factor over every rank pair below ``nprocs``.
+
+        Equals ``max(link_factor(a, b) for all pairs a != b)`` but costs
+        O(|degraded_links|) instead of O(nprocs^2) — the alltoall
+        pricing path calls this once per collective, and at 1024 ranks
+        the pairwise scan would dominate the simulation.
+        """
+        worst = 1.0
+        for (a, b), f in sorted(self.degraded_links.items()):
+            if a != b and 0 <= a < nprocs and 0 <= b < nprocs:
+                worst = max(worst, float(f))
+        return worst
+
     def straggler_factor(self, rank: int) -> float:
         if not self.stragglers:
             return 1.0

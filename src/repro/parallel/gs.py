@@ -75,10 +75,11 @@ class GatherScatter:
         all_tree = sorted(
             {g for g, own in owners.items() if len(own) >= 3}
         )
+        tree_slot_of = {g: i for i, g in enumerate(all_tree)}
         self.tree_ids = np.array(all_tree, dtype=np.int64)
         self.tree_local = np.array(tree_local, dtype=np.int64)
         self.tree_slots = np.array(
-            [all_tree.index(int(self.ids[i])) for i in tree_local], dtype=np.int64
+            [tree_slot_of[int(self.ids[i])] for i in tree_local], dtype=np.int64
         )
         self.multiplicity = np.array(
             [len(owners[int(g)]) for g in self.ids], dtype=np.float64

@@ -116,6 +116,14 @@ class RaceDetector:
         with self._lock:
             return tuple(self._clocks[rank])
 
+    def clocks(self) -> dict[int, tuple[int, ...]]:
+        """All ranks' vector clocks in one snapshot (rank -> clock).
+
+        Convenience for finalize-time consumers (trace annotation, the
+        engine parity suite) that compare whole-cluster clock states."""
+        with self._lock:
+            return {r: tuple(vc) for r, vc in enumerate(self._clocks)}
+
     # -- hooks called by simmpi ---------------------------------------
 
     def on_send(self, rank: int) -> tuple[int, ...]:

@@ -1,5 +1,4 @@
-# repro: waive-file[virtual-time] simmpi IS the virtual-time substrate; host threads implement the simulated ranks
-"""simmpi: a virtual-time MPI on threads.
+"""simmpi: a virtual-time MPI on scheduled rank continuations.
 
 Rank functions execute *real Python/numpy code on real data* — messages
 actually move arrays between ranks — while each rank carries two
@@ -60,7 +59,6 @@ from __future__ import annotations
 import math
 import pickle
 import sys
-import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -74,10 +72,12 @@ from ..obs import metrics
 from ..obs import tracer as obs
 from .faults import CrashSpec, FaultPlan, RankFailure, RecvTimeout
 from .sanitizer import DeterminismError, RaceDetector
+from .scheduler import ENGINES, SchedulerDeadlock, _PeerFailure, make_engine
 
 __all__ = [
     "CommVerificationError",
     "DeterminismError",
+    "SchedulerDeadlock",
     "VirtualCluster",
     "VirtualComm",
     "payload_bytes",
@@ -91,10 +91,11 @@ def _code(kind: str) -> str:
     return f" [{RUNTIME_CODES[kind]}]"
 
 _TRACE_LEN = 64
-# Host-side safety net only: every state change that can satisfy a wait
-# notifies the condition, so this timeout never shapes virtual or host
-# timing — it exists so a lost-wakeup bug degrades to a slow re-check
-# instead of a hang.
+# Host-side safety net only (thread engine): every state change that
+# can satisfy a wait notifies the condition, so this timeout never
+# shapes virtual or host timing — it exists so a lost-wakeup bug
+# degrades to a typed SchedulerDeadlock (after two stale windows)
+# instead of a hang.  Tunable per cluster via ``wait_safety_net_s``.
 _WAIT_SAFETY_NET_S = 5.0
 
 
@@ -124,12 +125,6 @@ class CommVerificationError(RuntimeError):
                 tail = ", ".join(self.rank_traces[r]) or "(no events)"
                 lines.append(f"  rank {r}: {tail}")
         super().__init__("\n".join(lines))
-
-
-class _PeerFailure(RuntimeError):
-    """Secondary failure: this rank aborted because another rank died.
-
-    ``VirtualCluster.run`` re-raises the *root* error, not these."""
 
 
 class _InjectedCrash(BaseException):
@@ -198,6 +193,10 @@ class _Collective:
     expected: int
     arrived: int = 0
     data: dict[int, Any] = field(default_factory=dict)
+    # rank -> per-rank payload summary (e.g. alltoall's max chunk size),
+    # recorded at arrival so pricing never has to re-walk the payloads
+    # of every rank (that walk is O(P^2) in an alltoall).
+    sizes: dict[int, int] = field(default_factory=dict)
     t_start: float = 0.0
     t_done: float = 0.0
     released: int = 0
@@ -220,9 +219,15 @@ class VirtualCluster:
         trace: obs.Trace | None = None,
         faults: FaultPlan | None = None,
         sanitize: bool = False,
+        engine: str = "event",
     ):
         if nprocs < 1:
             raise ValueError("need at least one rank")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} "
+                f"(valid engines: {', '.join(ENGINES)})"
+            )
         self.nprocs = nprocs
         self.network = network
         self.cpu = cpu
@@ -242,10 +247,24 @@ class VirtualCluster:
         # Empty plan == no plan: every fault branch keys off this being
         # None, which is what makes the fault layer provably zero-cost.
         self._plan = None if faults is None or faults.is_empty else faults
-        self._lock = threading.Condition()
+        # Execution engine: "event" (cooperative single-token scheduler,
+        # the default) or "threads" (the legacy preemptive oracle kept
+        # for differential testing).  Engines own all host
+        # synchronisation: `_mutex` is a real Condition under the thread
+        # engine and a no-op under the event engine (single token — no
+        # second thread to exclude).
+        self.engine = engine
+        self._engine = make_engine(engine, self)
+        self._mutex = self._engine.mutex
         self._mailbox: dict[tuple[int, int, int], deque] = {}
         self._collectives: dict[tuple[str, int], _Collective] = {}
         self._coll_seq: dict[str, int] = {}
+        # Collective-ordering registry: entry i records (kind, rank) of
+        # the first rank to enter its i-th collective, so the runtime
+        # ordering check is O(1) per entry instead of an O(P) scan of
+        # every rank's history.  Persistent across run() calls, like
+        # coll_kinds/_coll_seq (cluster reuse accumulates history).
+        self._coll_order: list[tuple[str, int]] = []
         # rank -> (description, predicate, has virtual timeout, failure
         # probe returning an exception to raise or None).
         self._waiting: dict[
@@ -255,7 +274,17 @@ class VirtualCluster:
         self._timed_out: set[int] = set()
         self._crashed: dict[int, float] = {}  # rank -> virtual crash time
         self._deadlock: CommVerificationError | None = None
+        # Fast-path flag: true once any rank recorded a host error this
+        # run.  Lets the per-wait peer-failure probe skip its O(P) scan
+        # of rank states in the overwhelmingly common no-error case.
+        self._error_flag = False
         self.ranks = [_RankState() for _ in range(nprocs)]
+
+    # Thread-engine safety-net window in host seconds; after two
+    # consecutive windows with no cluster activity and every live rank
+    # blocked, the run aborts with SchedulerDeadlock instead of
+    # spinning forever.  Class attribute so tests can shrink it.
+    wait_safety_net_s: float = _WAIT_SAFETY_NET_S
 
     # -- topology ---------------------------------------------------------------
 
@@ -291,11 +320,11 @@ class VirtualCluster:
         return {r: list(self.ranks[r].trace) for r in ranks}
 
     def _check_deadlock(self) -> bool:
-        """With the lock held: true iff every live rank is blocked on a
+        """With the mutex held: true iff every live rank is blocked on a
         condition that cannot become true.  Records the deadlock error."""
         if self._deadlock is not None:
             return True
-        if any(st.error is not None for st in self.ranks):
+        if self._error_flag:
             # A real error is propagating; peer-failure handling owns
             # the wakeup, and the root cause must win over "deadlock".
             return False
@@ -316,7 +345,7 @@ class VirtualCluster:
             if failure is not None and failure() is not None:
                 # The rank will wake and raise a typed failure (e.g.
                 # RankFailure for a crashed peer) — not a deadlock.
-                self._lock.notify_all()
+                self._engine.notify_rank(r)
                 return False
             if has_timeout:
                 timed.append(r)
@@ -325,7 +354,8 @@ class VirtualCluster:
             # Nothing can progress, but some waits carry virtual
             # timeouts: expire those instead of declaring deadlock.
             self._timed_out.update(timed)
-            self._lock.notify_all()
+            for r in timed:
+                self._engine.notify_rank(r)
             return False
         problems = [f"deadlock: every live rank is blocked{_code('deadlock')}"]
         problems.extend(f"rank {r} blocked in {desc}" for r, desc in blocked)
@@ -333,7 +363,7 @@ class VirtualCluster:
         for r, desc in blocked:
             traces[r] = traces.get(r, []) + [f"BLOCKED: {desc}"]
         self._deadlock = CommVerificationError(problems, traces)
-        self._lock.notify_all()
+        self._engine.notify_all()
         return True
 
     def _blocking_wait(
@@ -356,39 +386,13 @@ class VirtualCluster:
 
         Waits are notification-driven: every state change that can
         satisfy a predicate (message enqueue, collective fill, rank
-        completion, crash, timeout expiry) notifies the condition, so
-        blocking host time is not quantised by a poll interval.
+        completion, crash, timeout expiry) notifies the engine, so
+        blocking host time is not quantised by a poll interval.  The
+        mechanics live in the engine: the event engine parks the rank's
+        continuation and hands the run token on; the thread engine
+        waits on the shared condition.
         """
-        self._waiting[rank] = (desc, predicate, timed, failure)
-        try:
-            while not predicate():
-                if failure is not None:
-                    exc = failure()
-                    if exc is not None:
-                        raise exc
-                if self._deadlock is not None:
-                    raise self._deadlock
-                peer = next(
-                    (st.error for st in self.ranks if st.error is not None), None
-                )
-                if peer is not None:
-                    raise _PeerFailure(
-                        f"rank {rank}: peer rank failed during {desc}"
-                    ) from peer
-                if rank in self._timed_out:
-                    self._timed_out.discard(rank)
-                    return False
-                if self._check_deadlock():
-                    raise self._deadlock
-                if rank in self._timed_out:
-                    # _check_deadlock may have just expired this wait.
-                    self._timed_out.discard(rank)
-                    return False
-                self._lock.wait(timeout=_WAIT_SAFETY_NET_S)
-            return True
-        finally:
-            self._waiting.pop(rank, None)
-            self._timed_out.discard(rank)
+        return self._engine.wait(rank, desc, predicate, timed, failure)
 
     def verify_communication(self) -> list[str]:
         """Finalize-time checks; raises :class:`CommVerificationError`.
@@ -495,7 +499,7 @@ class VirtualCluster:
 
     def run(self, fn: Callable[["VirtualComm"], Any], *args, **kwargs) -> list[Any]:
         """Run ``fn(comm, *args)`` on every rank; returns per-rank results."""
-        with self._lock:
+        with self._mutex:
             for st in self.ranks:
                 st.done = False
                 st.error = None
@@ -504,46 +508,35 @@ class VirtualCluster:
             self._timed_out.clear()
             self._crashed.clear()
             self._deadlock = None
+            self._error_flag = False
             if self.sanitize:
                 # Fresh clocks and access log per run.
                 self._sanitizer = RaceDetector(self.nprocs)
-        threads = []
-        for r in range(self.nprocs):
-            comm = VirtualComm(self, r)
+        comms = [VirtualComm(self, r) for r in range(self.nprocs)]
 
-            def work(comm=comm):
-                st = self.ranks[comm.rank]
-                tracer = (
-                    None
-                    if self.trace is None
-                    else self.trace.rank_tracer(
-                        comm.rank, clock=lambda: st.wall
-                    )
-                )
-                try:
-                    with obs.install(tracer):
-                        st.result = fn(comm, *args, **kwargs)
-                except _InjectedCrash:
-                    # Simulated death per the fault plan: not a host
-                    # error.  Peers observe it as RankFailure; the
-                    # result slot stays None.
-                    pass
-                except BaseException as exc:  # propagate to caller
-                    st.error = exc
-                finally:
-                    with self._lock:
-                        st.done = True
-                        self._waiting.pop(comm.rank, None)
-                        # A finished rank can strand peers waiting on it.
-                        self._check_deadlock()
-                        self._lock.notify_all()
+        def body(comm: "VirtualComm") -> None:
+            st = self.ranks[comm.rank]
+            tracer = (
+                None
+                if self.trace is None
+                else self.trace.rank_tracer(comm.rank, clock=lambda: st.wall)
+            )
+            try:
+                with obs.install(tracer):
+                    st.result = fn(comm, *args, **kwargs)
+            except _InjectedCrash:
+                # Simulated death per the fault plan: not a host
+                # error.  Peers observe it as RankFailure; the
+                # result slot stays None.
+                pass
+            except BaseException as exc:  # propagate to caller
+                st.error = exc
+                self._error_flag = True
 
-            t = threading.Thread(target=work, daemon=True)
-            threads.append(t)
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        self._engine.run_ranks(comms, body)
+        if self.trace is not None:
+            self.trace.annotate("cluster.engine", self._engine.name)
+            self.trace.annotate("cluster.engine_stats", self._engine.stats())
         errors = [st.error for st in self.ranks if st.error is not None]
         if errors:
             # Prefer the root cause over secondary peer-failure aborts.
@@ -566,6 +559,18 @@ class VirtualCluster:
         if self.verify:
             self.verify_communication()
         return [st.result for st in self.ranks]
+
+    def engine_stats(self) -> dict[str, float]:
+        """Host-scheduler statistics of the most recent :meth:`run`.
+
+        Engine-specific keys: the event engine reports
+        ``scheduler.switches`` (token hand-offs) and
+        ``scheduler.wakeups`` (ranks readied); the thread engine
+        reports ``scheduler.notifies`` (condition broadcasts).  All
+        values are deterministic host-side quantities — they never
+        touch the virtual clocks.
+        """
+        return self._engine.stats()
 
     @property
     def max_wall(self) -> float:
@@ -693,11 +698,13 @@ class VirtualComm:
 
     def _do_crash(self) -> None:
         cl = self.cluster
-        with cl._lock:
+        with cl._mutex:
             self._st.crashed = True
             cl._crashed[self.rank] = self._st.wall
             self._st.trace.append(f"CRASHED at t={self._st.wall:.6g}")
-            cl._lock.notify_all()
+            # Broadcast: any rank blocked on the dead rank must wake to
+            # observe the failure through its probe.
+            cl._engine.notify_all()
         metrics.inc("faults.crashes")
         tracer = obs.current()
         if tracer is not None:
@@ -711,7 +718,7 @@ class VirtualComm:
         cl = self.cluster
         if cl._plan is None:
             return
-        with cl._lock:
+        with cl._mutex:
             when = cl._crashed.get(peer)
         if when is not None:
             raise RankFailure(peer, when)
@@ -802,11 +809,14 @@ class VirtualComm:
         det = cl._sanitizer
         # Piggybacked vector clock: pure detector state, never priced.
         vc = None if det is None else det.on_send(self.rank)
-        with cl._lock:
+        with cl._mutex:
             self._st.trace.append(f"send -> {dest} tag={tag} ({nbytes}B)")
             key = (self.rank, dest, tag)
             cl._mailbox.setdefault(key, deque()).append((obj, ready, nbytes, vc))
-            cl._lock.notify_all()
+            # Targeted wakeup: only the receiver's wait can be
+            # satisfied by this enqueue (O(1) under the event engine;
+            # the thread engine broadcasts regardless).
+            cl._engine.notify_rank(dest)
         tracer = obs.current()
         if tracer is not None:
             tracer.emit_span(
@@ -868,7 +878,7 @@ class VirtualComm:
         attempts = 0
         cur_timeout = timeout
         while True:
-            with cl._lock:
+            with cl._mutex:
                 got = cl._blocking_wait(
                     self.rank,
                     desc,
@@ -953,38 +963,45 @@ class VirtualComm:
 
     # -- collectives -----------------------------------------------------------------
 
-    def _collective(self, kind: str, contribution: Any, pricing, combine):
+    def _collective(
+        self, kind: str, contribution: Any, pricing, combine, entry_size=None
+    ):
         """Generic synchronising collective.
 
-        pricing(t_start, all_data) -> completion wall time;
+        pricing(t_start, all_data, sizes) -> completion wall time,
+        where ``sizes`` maps rank -> the ``entry_size`` summary it
+        passed (empty unless the collective supplies one);
         combine(all_data) -> per-rank output (called once).
         """
         cl = self.cluster
         if cl._plan is not None:
             self._maybe_crash()
         t_entry = self._st.wall
-        with cl._lock:
+        with cl._mutex:
             if cl.verify:
-                # My n-th collective must be the same kind as every other
-                # rank's n-th collective (MPI collective-ordering rule).
+                # My n-th collective must be the same kind as every
+                # other rank's n-th collective (MPI collective-ordering
+                # rule).  The registry records (kind, rank) of the
+                # first rank to enter each global collective slot, so
+                # the check is O(1) per entry instead of scanning all
+                # P rank histories.
                 idx = len(self._st.coll_kinds)
-                for r, other in enumerate(cl.ranks):
-                    if (
-                        r != self.rank
-                        and len(other.coll_kinds) > idx
-                        and other.coll_kinds[idx] != kind
-                    ):
-                        traces = cl.rank_traces([self.rank, r])
+                if idx < len(cl._coll_order):
+                    okind, orank = cl._coll_order[idx]
+                    if okind != kind:
+                        traces = cl.rank_traces([self.rank, orank])
                         raise CommVerificationError(
                             [
                                 f"collective ordering mismatch: rank "
                                 f"{self.rank} enters '{kind}' as its "
-                                f"collective #{idx} but rank {r} ran "
-                                f"'{other.coll_kinds[idx]}' there"
+                                f"collective #{idx} but rank {orank} ran "
+                                f"'{okind}' there"
                                 f"{_code('collective_order')}"
                             ],
                             traces,
                         )
+                else:
+                    cl._coll_order.append((kind, self.rank))
             self._st.coll_kinds.append(kind)
             seq = cl._coll_seq.get(kind, 0)
             key = (kind, seq)
@@ -998,15 +1015,18 @@ class VirtualComm:
                 coll = cl._collectives.setdefault(key, _Collective(expected=self.size))
             self._st.trace.append(f"{kind} #{seq}")
             coll.data[self.rank] = contribution
+            if entry_size is not None:
+                coll.sizes[self.rank] = entry_size
             coll.arrived += 1
             if cl._sanitizer is not None:
                 cl._sanitizer.collective_arrive(key, self.rank)
             coll.t_start = max(coll.t_start, self._st.wall)
             if coll.arrived == coll.expected:
-                coll.t_done = pricing(coll.t_start, coll.data)
+                coll.t_done = pricing(coll.t_start, coll.data, coll.sizes)
                 coll.out = combine(coll.data)
                 cl._coll_seq[kind] = seq + 1
-                cl._lock.notify_all()
+                # Everyone parked at this rendezvous is now releasable.
+                cl._engine.notify_all()
             else:
 
                 def crash_probe():
@@ -1066,7 +1086,7 @@ class VirtualComm:
         self._collective(
             "barrier",
             None,
-            lambda t0, data: t0 + net.barrier_time(self.size),
+            lambda t0, data, sizes: t0 + net.barrier_time(self.size),
             lambda data: None,
         )
 
@@ -1102,12 +1122,8 @@ class VirtualComm:
             self._a2a_seq = seq_f + 1
             if plan.degraded_links and self.size > 1:
                 # The pairwise-exchange rounds are gated by the slowest
-                # link in the fabric.
-                stretch = max(
-                    plan.link_factor(a, b)
-                    for a in range(self.size)
-                    for b in range(a)
-                )
+                # link in the fabric (O(|degraded_links|), not O(P^2)).
+                stretch = plan.max_link_factor(self.size)
             if plan.loss_applies(net) and self.size > 1:
                 # This rank's own lost segments cost kernel resend
                 # copies (CPU); the shared completion delay is priced
@@ -1122,13 +1138,11 @@ class VirtualComm:
                     metrics.inc("faults.retransmits", mine)
                     metrics.inc("faults.retransmitted_bytes", mine * nbytes)
 
-        def pricing(t0, data):
-            sizes = [
-                payload_bytes(c)
-                for _, chunk in sorted(data.items())
-                for c in chunk
-            ]
-            m = max(sizes) if sizes else 0
+        def pricing(t0, data, sizes):
+            # ``sizes`` carries each rank's max chunk size, recorded at
+            # arrival — the global max is O(P) here instead of an
+            # O(P^2) re-walk of every chunk of every rank.
+            m = max(sizes.values()) if sizes else 0
             t = t0 + stretch * net.alltoall_time(self.size, m) + overhead
             if plan is not None and plan.loss_applies(net) and self.size > 1:
                 # The synchronising exchange finishes when the slowest
@@ -1159,6 +1173,7 @@ class VirtualComm:
             lambda data: {
                 r: [data[s][r] for s in range(self.size)] for r in sorted(data)
             },
+            entry_size=nbytes,
         )
         return out[me]
 
@@ -1166,7 +1181,7 @@ class VirtualComm:
         net = self.cluster.network
         nbytes = payload_bytes(value)
 
-        def pricing(t0, data):
+        def pricing(t0, data, sizes):
             return t0 + net.allreduce_time(self.size, nbytes)
 
         def combine(data):
@@ -1189,7 +1204,7 @@ class VirtualComm:
     def bcast(self, value: Any, root: int = 0) -> Any:
         net = self.cluster.network
 
-        def pricing(t0, data):
+        def pricing(t0, data, sizes):
             nbytes = payload_bytes(data[root])
             hops = math.ceil(math.log2(self.size)) if self.size > 1 else 0
             return t0 + hops * net.send_time(nbytes)
@@ -1200,7 +1215,7 @@ class VirtualComm:
         net = self.cluster.network
         nbytes = payload_bytes(value)
 
-        def pricing(t0, data):
+        def pricing(t0, data, sizes):
             return t0 + (self.size - 1) * net.send_time(nbytes)
 
         out = self._collective(
@@ -1211,7 +1226,7 @@ class VirtualComm:
     def allgather(self, value: Any) -> list[Any]:
         nbytes = payload_bytes(value)
 
-        def pricing(t0, data):
+        def pricing(t0, data, sizes):
             return t0 + self.cluster.network.allreduce_time(self.size, nbytes)
 
         return self._collective(

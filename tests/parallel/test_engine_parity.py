@@ -1,0 +1,273 @@
+"""Differential engine parity: event scheduler vs thread-engine oracle.
+
+The event-driven scheduler must preserve every simulator contract
+byte-for-byte.  Each scenario here runs the identical program on both
+engines and asserts bitwise-equal results, per-rank virtual clocks and
+byte ledgers, ``rank_traces()`` event strings, metrics snapshots,
+per-rank obs trace streams, and (where enabled) sanitizer vector
+clocks.  The scenarios are the repo's real workloads: a NekTar-F
+Fourier step, a fault-plan storm (loss + stragglers + degraded link), a
+rank crash, and the Tufo-Fischer gather-scatter assembly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.assembly.space import FunctionSpace
+from repro.machines.catalog import CPUS, NETWORKS
+from repro.machines.network import NetworkModel
+from repro.mesh.generators import rectangle_quads
+from repro.ns.nektar_f import NekTarF
+from repro.obs import MetricsRegistry, Trace, use_registry
+from repro.parallel.faults import CrashSpec, FaultPlan, RankFailure
+from repro.parallel.gs import GatherScatter
+from repro.parallel.simmpi import VirtualCluster
+
+NET = NetworkModel(
+    "parity-net",
+    latency_us=10,
+    bandwidth=100e6,
+    cpu_overhead_per_byte=2e-9,
+    busy_wait_fraction=0.25,
+)
+
+STORM = FaultPlan(
+    seed=7,
+    loss_rate=0.15,
+    stragglers={1: 1.5},
+    degraded_links={(0, 2): 2.5},
+)
+
+# Run-level annotations that legitimately differ between engines (the
+# engine records its own name and scheduler statistics).
+ENGINE_ANNOTATIONS = ("cluster.engine", "cluster.engine_stats")
+
+
+def canon(obj):
+    """Bitwise-comparable canonical form (ndarrays -> dtype/shape/bytes)."""
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", str(obj.dtype), obj.shape, obj.tobytes())
+    if isinstance(obj, (list, tuple)):
+        return tuple(canon(x) for x in obj)
+    if isinstance(obj, dict):
+        return tuple(sorted((canon(k), canon(v)) for k, v in obj.items()))
+    if isinstance(obj, np.generic):
+        return ("scalar", str(obj.dtype), obj.tobytes())
+    return obj
+
+
+def run_fingerprint(
+    engine,
+    nprocs,
+    fn,
+    *,
+    network=NET,
+    cpu=None,
+    faults=None,
+    sanitize=False,
+):
+    """Run ``fn`` on one engine; return the full observable state."""
+    registry = MetricsRegistry()
+    trace = Trace()
+    cluster = VirtualCluster(
+        nprocs,
+        network,
+        cpu=cpu,
+        faults=faults,
+        sanitize=sanitize,
+        trace=trace,
+        engine=engine,
+    )
+    with use_registry(registry):
+        try:
+            results = cluster.run(fn)
+            outcome = ("ok", canon(results))
+        except Exception as exc:
+            outcome = ("raised", type(exc).__name__, str(exc))
+    fp = {
+        "outcome": outcome,
+        "ranks": [
+            (
+                st.wall,
+                st.cpu,
+                st.sent_bytes,
+                st.recv_bytes,
+                st.messages,
+                st.crashed,
+                tuple(st.coll_kinds),
+            )
+            for st in cluster.ranks
+        ],
+        "rank_traces": cluster.rank_traces(),
+        "metrics": canon(registry.snapshot()),
+        "events": {
+            r: [
+                (e.name, e.cat, e.ts, e.dur, e.rank, canon(e.args), e.ph)
+                for e in tr.events
+            ]
+            for r, tr in sorted(trace.tracers.items())
+        },
+        "annotations": canon(
+            {
+                k: v
+                for k, v in trace.annotations.items()
+                if k not in ENGINE_ANNOTATIONS
+            }
+        ),
+    }
+    if sanitize:
+        fp["vector_clocks"] = cluster._sanitizer.clocks()
+    return fp
+
+
+def assert_parity(nprocs, fn, **kwargs):
+    event = run_fingerprint("event", nprocs, fn, **kwargs)
+    threads = run_fingerprint("threads", nprocs, fn, **kwargs)
+    for key in event:
+        assert event[key] == threads[key], f"engine mismatch in {key}"
+    return event
+
+
+# -- scenarios ---------------------------------------------------------------------
+
+
+def test_nektar_f_step_parity():
+    """A real NekTar-F Fourier step: numerics, charges, clocks, traces."""
+    mesh = rectangle_quads(2, 1, 0.0, 2 * np.pi, 0.0, np.pi)
+
+    def rank_fn(comm):
+        space = FunctionSpace(mesh, 4)
+        bcs = {
+            "left": (
+                lambda m, x, y, t: 1.0 if m == 0 else 0.0,
+                lambda m, x, y, t: 0.0,
+                lambda m, x, y, t: 0.0,
+            )
+        }
+        nf = NekTarF(
+            comm,
+            space,
+            nz=4,
+            nu=0.1,
+            dt=5e-3,
+            velocity_bcs=bcs,
+            pressure_dirichlet=("right",),
+            charge_compute=True,
+        )
+        nf.set_initial(
+            lambda m, x, y, t: 1.0 if m == 0 else 0.0,
+            lambda m, x, y, t: 0.0,
+            lambda m, x, y, t: 0.0,
+        )
+        nf.run(1)
+        return nf.u_hat.copy(), comm.wall, comm.cpu_time
+
+    fp = assert_parity(
+        2,
+        rank_fn,
+        network=NETWORKS["RoadRunner, eth-internode"],
+        cpu=CPUS["pentium-ii-450"],
+    )
+    assert fp["outcome"][0] == "ok"
+    # The scenario exercised real traffic on both engines.
+    assert all(st[4] > 0 for st in fp["ranks"])
+
+
+def test_fault_storm_parity():
+    """Loss + straggler + degraded link: every fault branch, both engines."""
+
+    def rank_fn(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.compute(1e-3)
+        acc = 0.0
+        for i in range(3):
+            comm.send(right, np.full(64, float(comm.rank)), tag=i)
+            acc += float(comm.recv(left, tag=i, timeout=5.0, retries=1)[0])
+        out = comm.alltoall([np.full(8, float(comm.rank))] * comm.size)
+        acc += float(sum(c[0] for c in out))
+        return acc, comm.wall, comm.cpu_time
+
+    fp = assert_parity(4, rank_fn, faults=STORM)
+    assert fp["outcome"][0] == "ok"
+    # The storm actually engaged the retransmit path.
+    snapshot = dict(fp["metrics"])
+    assert dict(snapshot["faults.retransmits"])["value"] > 0
+
+
+def test_crash_parity():
+    """A mid-run crash: survivors observe RankFailure identically."""
+    plan = FaultPlan(crashes=(CrashSpec(rank=2, at_time=2e-4),))
+
+    def rank_fn(comm):
+        comm.compute(1e-4)
+        try:
+            for _ in range(2):
+                comm.barrier()
+                comm.compute(2e-4)
+            return "finished"
+        except RankFailure as e:
+            return f"lost rank {e.rank}"
+
+    fp = assert_parity(4, rank_fn, faults=plan)
+    assert fp["outcome"][0] == "ok"
+    assert fp["ranks"][2][5] is True  # rank 2 crashed on both engines
+
+
+def test_gather_scatter_parity():
+    """Tufo-Fischer assembly: pairwise exchange + tree allreduce."""
+
+    def rank_fn(comm):
+        # dof 0 is a cross-point (all ranks); dof 10+r pairs r with r+1.
+        me = comm.rank
+        ids = sorted({0, 10 + me, 10 + (me - 1) % comm.size})
+        gs = GatherScatter(comm, np.array(ids))
+        vals = np.arange(1.0, len(ids) + 1) * (me + 1)
+        out = gs.exchange(vals)
+        return out, comm.wall
+
+    fp = assert_parity(4, rank_fn)
+    assert fp["outcome"][0] == "ok"
+
+
+def test_sanitize_vector_clock_parity():
+    """Vector clocks are a pure function of the message graph, not of
+    host scheduling: both engines must build identical clocks."""
+    shared = {"x": 0.0}
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            comm.shared_write(shared, label="x")
+            comm.send(1, 1.0)
+        elif comm.rank == 1:
+            comm.recv(0)
+            comm.shared_read(shared, label="x")
+        comm.barrier()
+        comm.allreduce(float(comm.rank))
+        return comm.wall
+
+    fp = assert_parity(3, rank_fn, sanitize=True)
+    assert fp["outcome"][0] == "ok"
+    assert len(fp["vector_clocks"]) == 3
+
+
+def test_deadlock_report_parity():
+    """Even the failure diagnostics agree: a planted communication
+    deadlock produces the same CommVerificationError on both engines."""
+
+    def rank_fn(comm):
+        # Both ranks receive first: a classic head-to-head deadlock.
+        comm.recv((comm.rank + 1) % comm.size)
+        comm.send((comm.rank + 1) % comm.size, 1.0)
+
+    event = run_fingerprint("event", 2, rank_fn)
+    threads = run_fingerprint("threads", 2, rank_fn)
+    assert event["outcome"] == threads["outcome"]
+    assert event["outcome"][0] == "raised"
+    assert event["outcome"][1] == "CommVerificationError"
+    assert "deadlock" in event["outcome"][2]
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        VirtualCluster(2, NET, engine="fibers")
