@@ -1,0 +1,60 @@
+"""Tier-2 benchmark: fused vs per-field NekTar-F stage-2 transposes.
+
+Runs the ``repro.apps.fourier_bench`` smoke harness end to end and
+asserts the invariants the fast path rests on: both stage-2 modes
+produce bitwise-identical velocity state and byte-identical charge /
+wire ledgers, while the fused pipeline pays exactly 2 Alltoalls per
+rank per step against the per-field layout's 15.
+"""
+
+import pytest
+
+from repro.apps import fourier_bench
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    return fourier_bench.run_bench(smoke=True)
+
+
+def test_fourier_bench_smoke_invariants(smoke_results):
+    r = smoke_results
+    assert r["results_identical"] is True
+    assert r["charges_identical"] is True
+    assert r["wire_bytes_conserved"] is True
+    assert r["fused"]["alltoalls_per_rank_step"] == 2.0
+    assert r["per_field"]["alltoalls_per_rank_step"] == 15.0
+    assert r["fused"]["wire_bytes_total"] == r["per_field"]["wire_bytes_total"]
+    # Message aggregation: the fused mode sends exactly 2/15 of the
+    # payloads (all per-step traffic is the two stage-2 transposes).
+    assert (
+        15 * r["fused"]["messages_total"]
+        == 2 * r["per_field"]["messages_total"]
+    )
+
+
+def test_fourier_bench_virtual_latency_win(smoke_results):
+    """Bytes are conserved, so the virtual-clock win is pure latency:
+    fused must be strictly cheaper on the simulated network, by at most
+    the 13 saved latency terms per step."""
+    r = smoke_results
+    assert r["fused"]["virtual_wall_s"] < r["per_field"]["virtual_wall_s"]
+
+
+def test_fourier_bench_report_shape(smoke_results):
+    for mode in ("fused", "per_field"):
+        entry = smoke_results[mode]
+        for key in (
+            "step_s",
+            "virtual_wall_s",
+            "alltoalls_per_rank_step",
+            "wire_bytes_total",
+            "messages_total",
+            "flops_total",
+            "bytes_total",
+        ):
+            assert key in entry, key
+    assert smoke_results["config"]["smoke"] is True
+    assert smoke_results["step_speedup"] > 0
+    for key in ("fused_s", "per_field_s", "speedup"):
+        assert smoke_results["stage2"][key] > 0

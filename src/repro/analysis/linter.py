@@ -234,6 +234,10 @@ _BLAS_KERNELS = {
     "dvadd",
     "dsvtvp",
 }
+# Counted non-blas kernels: the z-direction real FFT pair charges the
+# ambient counter itself (split rfft/irfft pricing), so calling it is
+# charging compute just like a blas call.
+_FOURIER_KERNELS = {"fft_z", "ifft_z"}
 
 # Names that (by this repo's conventions) hold a rank index.
 _RANKISH_NAMES = {
@@ -424,6 +428,10 @@ class _ImportTable:
                 self.objects[name] = "repro.linalg.counters.charge"
             elif alias.name in _BLAS_KERNELS and mod.endswith("linalg"):
                 self.objects[name] = f"repro.linalg.blas.{alias.name}"
+            elif alias.name in _FOURIER_KERNELS and (
+                mod.endswith("transforms") or mod.endswith("fourier")
+            ):
+                self.objects[name] = f"repro.fourier.transforms.{alias.name}"
 
     def resolve(self, node: ast.expr) -> str | None:
         """Canonical dotted name of an attribute/name chain, or None."""
@@ -491,6 +499,11 @@ def _is_charging_call(node: ast.Call, table: _ImportTable) -> bool:
     if last.lstrip("_").startswith("charge"):
         return True
     if dotted.startswith("repro.linalg.blas."):
+        return True
+    if (
+        dotted.startswith("repro.fourier.transforms.")
+        and dotted.rsplit(".", 1)[-1] in _FOURIER_KERNELS
+    ):
         return True
     return False
 

@@ -1,0 +1,350 @@
+"""Perf-regression harness: fused vs per-field NekTar-F transposes.
+
+Exercises real NekTar-F timesteps on a simmpi cluster in both stage-2
+modes — the fused z-major pipeline (ONE Alltoall for the 12 forward
+fields, ONE back for the 3 non-linear products, persistent send
+workspaces) and the per-field differential oracle (the seed's
+15-Alltoall layout) — and verifies the fast path is a pure wall-clock
+optimisation:
+
+* final velocity state **bitwise identical** between modes,
+* OpCounter flop/byte ledgers identical,
+* total wire bytes and message payloads conserved,
+* per-rank per-step Alltoall count pinned at 2 vs 15 (via the
+  ``fourier.transpose.alltoalls`` metric).
+
+Timing comes in two honest flavours.  ``stage2_*`` isolates the
+non-linear stage's data motion (transpose + FFT + products + back) at
+the exact paper shapes, alternating modes within one cluster so
+allocator drift cancels — this is where the fast path's >= 1.5x lives.
+``step_s`` times *whole* solver steps the same alternating way; since
+stage 2 is only ~15-20% of a step (the paper's own Figure 13 shares —
+the elliptic solves dominate), the whole-step win is Amdahl-bounded
+near 1.1x and is reported, not gated.  Host walls are measured per
+step between barriers inside the rank body (the barrier-delimited
+window spans every rank's share, so on a single host it is the true
+cost of advancing the whole cluster), best-of-steps.
+
+Writes ``BENCH_fourier.json``.  Run as a script::
+
+    python -m repro.apps.fourier_bench [--smoke] [--out BENCH_fourier.json]
+
+``--smoke`` runs a toy mesh on 2 ranks so CI can exercise the harness
+in seconds; the stage-2 acceptance gate applies to the paper-size run
+only (the paper configuration takes ~20 minutes of solver setup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+
+import numpy as np
+
+from ..assembly.space import FunctionSpace
+from ..fourier.mapping import transpose_to_modes, transpose_to_points
+from ..fourier.pipeline import FusedFourierPipeline
+from ..fourier.transforms import fft_z, ifft_z, mode_blocks
+from ..linalg.counters import OpCounter
+from ..machines.catalog import NETWORKS
+from ..mesh.generators import bluff_body_mesh, rectangle_quads
+from ..ns.nektar_f import NekTarF
+from ..obs import MetricsRegistry, use_registry
+from ..parallel.simmpi import VirtualCluster
+
+__all__ = ["PAPER", "SMOKE", "run_bench", "main"]
+
+# Section 4.1/4.2.1 size: the order-8 bluff-body mesh (our generator
+# lands at 1216 elements; the paper quotes 902) with 32 planes on 8
+# processors — 2 complex modes (4 planes) per processor.
+PAPER = {
+    "mesh": "bluff",
+    "order": 8,
+    "nz": 32,
+    "nprocs": 8,
+    "warmup": 2,
+    "steps": 3,
+    "stage2_reps": 6,
+}
+SMOKE = {
+    "mesh": "rect",
+    "order": 4,
+    "nz": 8,
+    "nprocs": 2,
+    "warmup": 2,
+    "steps": 3,
+    "stage2_reps": 3,
+}
+
+NET = NETWORKS["RoadRunner, myr-internode"]
+
+
+def _build(cfg):
+    if cfg["mesh"] == "bluff":
+        mesh = bluff_body_mesh(m=8, nr=4, refine=2)
+        vel_tags = ("inflow", "side", "wall")
+        p_tags = ("outflow",)
+    else:
+        mesh = rectangle_quads(3, 2, 0.0, 2.0 * np.pi, 0.0, np.pi)
+        vel_tags = ("left", "top", "bottom")
+        p_tags = ("right",)
+    return mesh, vel_tags, p_tags
+
+
+def _amp_u(m, x, y, t):
+    return 1.0 if m == 0 else 0.0
+
+
+def _amp_zero(m, x, y, t):
+    return 0.0
+
+
+def _amp_w0(m, x, y, t):
+    # A non-zero higher mode so the non-linear products exercise real
+    # three-dimensional data from the first step.
+    return complex(0.1 * np.sin(x)) if m == 1 else 0.0
+
+
+def _make_solver(comm, cfg, mesh, vel_tags, p_tags, fused):
+    space = FunctionSpace(mesh, cfg["order"])
+    bcs = {
+        t: (
+            _amp_u if t != "wall" else _amp_zero,
+            _amp_zero,
+            _amp_zero,
+        )
+        for t in vel_tags
+    }
+    nf = NekTarF(
+        comm,
+        space,
+        nz=cfg["nz"],
+        nu=0.05,
+        dt=2e-3,
+        velocity_bcs=bcs,
+        pressure_dirichlet=p_tags,
+        fused_transpose=fused,
+    )
+    nf.set_initial(_amp_u, _amp_zero, _amp_w0)
+    return nf
+
+
+def _run_mode(cfg, fused: bool) -> dict:
+    """One full-trajectory run of a single mode: state digests, charge
+    ledger, wire traffic and the Alltoall metric (the parity data)."""
+    mesh, vel_tags, p_tags = _build(cfg)
+    nprocs = cfg["nprocs"]
+    nsteps = cfg["warmup"] + cfg["steps"]
+
+    def rank_fn(comm):
+        with OpCounter() as c:
+            nf = _make_solver(comm, cfg, mesh, vel_tags, p_tags, fused)
+            nf.run(nsteps)
+        digest = hashlib.sha256()
+        for f in (nf.u_hat, nf.v_hat, nf.w_hat):
+            digest.update(np.ascontiguousarray(f).tobytes())
+        flops, bytes_ = c.snapshot().totals()
+        return {
+            "digest": digest.hexdigest(),
+            "virtual_wall": comm.wall,
+            "sent_bytes": comm._st.sent_bytes,
+            "messages": comm._st.messages,
+            "flops": flops,
+            "bytes": bytes_,
+        }
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cluster = VirtualCluster(nprocs, NET, engine="event")
+        res = cluster.run(rank_fn)
+    alltoalls = registry.snapshot()["fourier.transpose.alltoalls"]["value"]
+    return {
+        "digests": tuple(r["digest"] for r in res),
+        "virtual_wall_s": max(r["virtual_wall"] for r in res),
+        "alltoalls_per_rank_step": alltoalls / (nprocs * nsteps),
+        "wire_bytes_total": sum(r["sent_bytes"] for r in res),
+        "messages_total": sum(r["messages"] for r in res),
+        "flops_total": sum(r["flops"] for r in res),
+        "bytes_total": sum(r["bytes"] for r in res),
+    }
+
+
+def _time_steps(cfg) -> dict[str, float]:
+    """Whole-step host walls, alternating stage-2 modes step by step
+    inside ONE cluster so setup is paid once and allocator/cache drift
+    hits both modes equally (both modes advance the identical
+    trajectory — they are bitwise interchangeable)."""
+    mesh, vel_tags, p_tags = _build(cfg)
+
+    def rank_fn(comm):
+        nf = _make_solver(comm, cfg, mesh, vel_tags, p_tags, fused=True)
+        nf.run(cfg["warmup"])
+        times: dict[str, list] = {"fused": [], "per_field": []}
+        for i in range(2 * cfg["steps"]):
+            nf.fused_transpose = i % 2 == 0
+            comm.barrier()
+            # repro: waive[virtual-time] the harness measures HOST wall per step
+            t0 = time.perf_counter()
+            nf.step()
+            comm.barrier()
+            # repro: waive[virtual-time] end of the host-wall step window
+            dt_host = time.perf_counter() - t0
+            times["fused" if i % 2 == 0 else "per_field"].append(dt_host)
+        return times
+
+    cluster = VirtualCluster(cfg["nprocs"], NET, engine="event")
+    res = cluster.run(rank_fn)
+    return {mode: min(ts) for mode, ts in res[0].items()}
+
+
+def _time_stage2(cfg) -> dict:
+    """The non-linear stage's data motion in isolation, at the exact
+    paper shapes: 12 modal fields out, inverse FFT, physical products,
+    forward FFT, 3 fields back.  Alternating reps, best-of; bitwise
+    and ledger parity asserted in-line."""
+    mesh, _, _ = _build(cfg)
+    space = FunctionSpace(mesh, cfg["order"])
+    npts = space.nelem * space.nq
+    nz = cfg["nz"]
+
+    def products(p):
+        return [
+            -(p[0] * p[3 * k + 3] + p[1] * p[3 * k + 4] + p[2] * p[3 * k + 5])
+            for k in range(3)
+        ]
+
+    def rank_fn(comm):
+        my = mode_blocks(nz // 2, comm.size)[comm.rank]
+        rng = np.random.default_rng(comm.rank)
+        fields = [
+            rng.standard_normal((len(my), npts))
+            + 1j * rng.standard_normal((len(my), npts))
+            for _ in range(12)
+        ]
+        pipe = FusedFourierPipeline()
+        times: dict[str, list] = {"fused": [], "per_field": []}
+        ledgers = {}
+        outs = {}
+        for rep in range(2 * cfg["stage2_reps"]):
+            fused = rep % 2 == 0
+            comm.barrier()
+            # repro: waive[virtual-time] host wall of one stage-2 sweep
+            t0 = time.perf_counter()
+            with OpCounter() as c:
+                if fused:
+                    phys = pipe.to_physical(comm, fields, nz)
+                    back = pipe.to_modal(comm, products(phys), npts, nz)
+                else:
+                    phys = [
+                        ifft_z(transpose_to_points(comm, f.T), nz)
+                        for f in fields
+                    ]
+                    back = np.stack(
+                        [
+                            transpose_to_modes(comm, fft_z(p), npts).T
+                            for p in products(phys)
+                        ]
+                    )
+            comm.barrier()
+            # repro: waive[virtual-time] end of the stage-2 window
+            dt_host = time.perf_counter() - t0
+            key = "fused" if fused else "per_field"
+            times[key].append(dt_host)
+            ledgers[key] = c.snapshot().totals()
+            outs[key] = np.ascontiguousarray(back).tobytes()
+        assert outs["fused"] == outs["per_field"], "stage-2 modes diverge"
+        assert ledgers["fused"] == ledgers["per_field"], "stage-2 ledgers diverge"
+        return {mode: min(ts) for mode, ts in times.items()}
+
+    cluster = VirtualCluster(cfg["nprocs"], NET, engine="event")
+    res = cluster.run(rank_fn)
+    fused_s = res[0]["fused"]
+    per_field_s = res[0]["per_field"]
+    return {
+        "fused_s": fused_s,
+        "per_field_s": per_field_s,
+        "speedup": per_field_s / fused_s,
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    """Benchmark both stage-2 modes; returns the results dict."""
+    cfg = SMOKE if smoke else PAPER
+    mesh, _, _ = _build(cfg)
+    modes = {
+        "fused": _run_mode(cfg, fused=True),
+        "per_field": _run_mode(cfg, fused=False),
+    }
+    fused, loop = modes["fused"], modes["per_field"]
+    if fused["digests"] != loop["digests"]:
+        raise AssertionError("fused and per-field final states differ")
+    for key in ("flops_total", "bytes_total", "wire_bytes_total"):
+        if fused[key] != loop[key]:
+            raise AssertionError(
+                f"{key} differs between modes: "
+                f"{fused[key]} != {loop[key]}"
+            )
+    steps = _time_steps(cfg)
+    stage2 = _time_stage2(cfg)
+    results: dict = {
+        "config": {
+            "elements": mesh.nelements,
+            "order": cfg["order"],
+            "nz": cfg["nz"],
+            "nprocs": cfg["nprocs"],
+            "steps": cfg["steps"],
+            "warmup": cfg["warmup"],
+            "stage2_reps": cfg["stage2_reps"],
+            "smoke": smoke,
+        },
+        "step_speedup": steps["per_field"] / steps["fused"],
+        "stage2": stage2,
+        "results_identical": True,
+        "charges_identical": True,
+        "wire_bytes_conserved": True,
+    }
+    for name, entry in modes.items():
+        results[name] = {
+            "step_s": steps[name],
+            "virtual_wall_s": entry["virtual_wall_s"],
+            "alltoalls_per_rank_step": entry["alltoalls_per_rank_step"],
+            "wire_bytes_total": entry["wire_bytes_total"],
+            "messages_total": entry["messages_total"],
+            "flops_total": entry["flops_total"],
+            "bytes_total": entry["bytes_total"],
+        }
+    return results
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced size for CI smoke runs"
+    )
+    parser.add_argument("--out", default="BENCH_fourier.json", help="output path")
+    args = parser.parse_args(argv)
+    results = run_bench(smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name in ("fused", "per_field"):
+        e = results[name]
+        print(
+            f"{name:10s} step {e['step_s'] * 1e3:9.2f} ms   "
+            f"alltoalls/step {e['alltoalls_per_rank_step']:5.1f}   "
+            f"virtual wall {e['virtual_wall_s']:.4f} s"
+        )
+    s2 = results["stage2"]
+    print(
+        f"stage 2    fused {s2['fused_s'] * 1e3:9.2f} ms   "
+        f"per-field {s2['per_field_s'] * 1e3:9.2f} ms   "
+        f"speedup {s2['speedup']:.2f}x"
+    )
+    print(f"step speedup: {results['step_speedup']:.2f}x -> {args.out}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -39,10 +39,13 @@ __all__ = ["FunctionSpace"]
 class FunctionSpace:
     """H1-conforming spectral/hp space of uniform order on a 2-D mesh.
 
-    ``sumfact=True`` evaluates transforms and gradients on quadrilateral
-    elements by sum-factorisation (two O(P^3) contractions instead of
-    one O(P^4) tabulated dgemv) — NekTar's tensor-product evaluation;
-    results are identical to machine precision.
+    ``sumfact`` evaluates transforms, gradients and load vectors on
+    quadrilateral elements by sum-factorisation (two O(P^3) contractions
+    instead of one O(P^4) tabulated dgemv) — NekTar's tensor-product
+    evaluation; results are identical to machine precision.  The default
+    (``None``) resolves to True on all-quad meshes and False otherwise;
+    an explicit ``sumfact=True`` on a mixed mesh fast-paths the quad
+    batches and falls back to the tabulated tables on the rest.
 
     ``batched=True`` (the default) groups same-shape elements into
     contiguous operand stacks and runs transforms, load vectors,
@@ -56,15 +59,18 @@ class FunctionSpace:
         self,
         mesh: Mesh2D,
         order: int,
-        sumfact: bool = False,
+        sumfact: bool | None = None,
         periodic: list[tuple[str, str]] | tuple = (),
         batched: bool = True,
     ):
         self.mesh = mesh
         self.order = order
-        self.sumfact = sumfact
+        if sumfact is None:
+            sumfact = all(e.kind == "quad" for e in mesh.elements)
+        self.sumfact = bool(sumfact)
         self.batched = batched
         self._batches = None
+        self._op_mats: dict[tuple, np.ndarray] = {}
         self.dofmap = DofMap(mesh, order, periodic=periodic)
         from ..mesh.curved import make_element_map
 
@@ -161,10 +167,12 @@ class FunctionSpace:
             if values.shape[-2:] != (self.nelem, self.nq):
                 raise ValueError("values must be given at the quadrature points")
             for b in self.batches():
-                local = np.zeros(lead + (b.ng, b.exp.nmodes))
-                blas.dgemv_batched(
-                    1.0, b.exp.phi, b.jw * values[..., b.elems, :], 0.0, local
-                )
+                w = b.jw * values[..., b.elems, :]
+                if self.sumfact and b.kind == "quad":
+                    local = b.exp.iproduct_sumfact_batched(w)
+                else:
+                    local = np.zeros(lead + (b.ng, b.exp.nmodes))
+                    blas.dgemv_batched(1.0, b.exp.phi, w, 0.0, local)
                 b.scatter_add(local, rhs)
             return rhs
         if lead:
@@ -173,7 +181,10 @@ class FunctionSpace:
             return rhs
         for ei in range(self.nelem):
             exp = self.dofmap.expansion(ei)
-            local = elemental_load(exp, self.geom[ei], values[ei])
+            if self.sumfact and self.mesh.elements[ei].kind == "quad":
+                local = exp.iproduct_sumfact(self.geom[ei].jw * values[ei])
+            else:
+                local = elemental_load(exp, self.geom[ei], values[ei])
             self.dofmap.scatter_add(ei, local, rhs)
         return rhs
 
@@ -196,14 +207,19 @@ class FunctionSpace:
                 # Adjoint of the reference-first gradient: contract the
                 # metric factors into the quadrature fields, then apply
                 # the shared reference-derivative tables — same two
-                # dgemv charges per element as the per-element path.
+                # dgemv charges per element as the per-element path
+                # (or two pairs of O(P^3) contractions with sumfact).
                 g = b.jw * fx[..., b.elems, :]
                 h = b.jw * fy[..., b.elems, :]
                 t1 = b.dxi[:, 0, 0] * g + b.dxi[:, 0, 1] * h
                 t2 = b.dxi[:, 1, 0] * g + b.dxi[:, 1, 1] * h
-                local = np.zeros(lead + (b.ng, b.exp.nmodes))
-                blas.dgemv_batched(1.0, b.exp.dphi1, t1, 0.0, local)
-                blas.dgemv_batched(1.0, b.exp.dphi2, t2, 1.0, local)
+                if self.sumfact and b.kind == "quad":
+                    local = b.exp.iproduct_sumfact_batched(t1, deriv=1)
+                    local += b.exp.iproduct_sumfact_batched(t2, deriv=2)
+                else:
+                    local = np.zeros(lead + (b.ng, b.exp.nmodes))
+                    blas.dgemv_batched(1.0, b.exp.dphi1, t1, 0.0, local)
+                    blas.dgemv_batched(1.0, b.exp.dphi2, t2, 1.0, local)
                 b.scatter_add(local, rhs)
             return rhs
         if lead:
@@ -214,6 +230,16 @@ class FunctionSpace:
         for ei in range(self.nelem):
             exp = self.dofmap.expansion(ei)
             gf = self.geom[ei]
+            if self.sumfact and self.mesh.elements[ei].kind == "quad":
+                g = gf.jw * fx[ei]
+                h = gf.jw * fy[ei]
+                t1 = gf.dxi_dx[0, 0] * g + gf.dxi_dx[0, 1] * h
+                t2 = gf.dxi_dx[1, 0] * g + gf.dxi_dx[1, 1] * h
+                local = exp.iproduct_sumfact(t1, deriv=1)
+                local += exp.iproduct_sumfact(t2, deriv=2)
+                self.dofmap.scatter_add(ei, local, rhs)
+                local = None
+                continue
             dx, dy = gf.physical_gradients(exp.dphi1, exp.dphi2)
             if local is None or local.size != exp.nmodes:
                 local = np.zeros(exp.nmodes)
@@ -345,6 +371,81 @@ class FunctionSpace:
                 for j, ei in enumerate(b.elems[sl]):
                     mats[int(ei)] = stack[j]
         return mats
+
+    def _dense_batch_mats(self, bi: int, kind: str, lam: float) -> np.ndarray:
+        """Tabulated (ng, nmodes, nmodes) operator stack of one batch —
+        the matrix-free path's fallback for non-tensor-product elements,
+        built once per (batch, kind, lam) and cached."""
+        key = (bi, kind, round(float(lam), 12))
+        mats = self._op_mats.get(key)
+        if mats is None:
+            b = self.batches()[bi]
+            mats = np.empty((b.ng, b.exp.nmodes, b.exp.nmodes))
+            chunk = 16
+            for start in range(0, b.ng, chunk):
+                sl = slice(start, start + chunk)
+                if kind == "mass":
+                    mats[sl] = elemental_mass_batched(b.exp, b.jw[sl])
+                elif kind == "laplacian":
+                    mats[sl] = elemental_laplacian_batched(
+                        b.exp, b.jw[sl], b.dxi[sl]
+                    )
+                else:
+                    mats[sl] = elemental_helmholtz_batched(
+                        b.exp, b.jw[sl], b.dxi[sl], lam
+                    )
+            self._op_mats[key] = mats
+        return mats
+
+    def operator_apply(
+        self, kind: str, u: np.ndarray, lam: float = 0.0
+    ) -> np.ndarray:
+        """Global matrix-free operator application A @ u, where A is the
+        assembled mass / laplacian / helmholtz operator (no Dirichlet
+        elimination; restrict externally).
+
+        Quad batches apply by sum-factorisation — O(P^3) per element,
+        nothing assembled; other batches fall back to cached tabulated
+        elemental stacks.  Leading axes of ``u`` batch through one
+        sweep (the block-CG path applies whole RHS blocks at once).
+        """
+        from . import matrix_free
+
+        if kind not in ("mass", "laplacian", "helmholtz"):
+            raise ValueError(f"unknown elemental operator kind: {kind!r}")
+        u = np.asarray(u, dtype=np.float64)
+        lead = u.shape[:-1]
+        out = np.zeros(lead + (self.ndof,))
+        for bi, b in enumerate(self.batches()):
+            local = b.gather(u)
+            if self.sumfact and b.kind == "quad":
+                res = matrix_free.apply_operator_batched(b, local, kind, lam)
+            else:
+                mats = self._dense_batch_mats(bi, kind, lam)
+                res = np.zeros(lead + (b.ng, b.exp.nmodes))
+                blas.dgemv_batched(1.0, mats, local, 0.0, res)
+            b.scatter_add(res, out)
+        return out
+
+    def operator_diagonal(self, kind: str, lam: float = 0.0) -> np.ndarray:
+        """Assembled operator diagonal (Jacobi preconditioner) without
+        assembling: sum-factorised on quad batches, tabulated stacks on
+        the rest."""
+        from . import matrix_free
+
+        if kind not in ("mass", "laplacian", "helmholtz"):
+            raise ValueError(f"unknown elemental operator kind: {kind!r}")
+        diag = np.zeros(self.ndof)
+        for bi, b in enumerate(self.batches()):
+            if self.sumfact and b.kind == "quad":
+                d = matrix_free.diagonal_operator_batched(b, kind, lam)
+            else:
+                mats = self._dense_batch_mats(bi, kind, lam)
+                d = np.diagonal(mats, axis1=-2, axis2=-1)
+            # Signs square to one on the diagonal; pre-multiplying
+            # cancels the one scatter_add applies.
+            b.scatter_add(b.signs * d, diag)
+        return diag
 
     def assemble(self, elem_mats: list[np.ndarray]) -> sp.csr_matrix:
         """Scatter elemental matrices into the global sparse operator."""

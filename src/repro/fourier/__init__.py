@@ -1,6 +1,7 @@
 """Fourier substrate: spanwise transforms and distributed transposes."""
 
 from .mapping import point_chunks, transpose_to_modes, transpose_to_points
+from .pipeline import FusedFourierPipeline
 from .transforms import dz_hat, fft_z, ifft_z, mode_blocks, nmodes_for, wavenumbers
 
 __all__ = [
@@ -13,4 +14,5 @@ __all__ = [
     "point_chunks",
     "transpose_to_points",
     "transpose_to_modes",
+    "FusedFourierPipeline",
 ]

@@ -131,6 +131,7 @@ def pcg_block(
     tol: float = 1.0e-10,
     maxiter: int | None = None,
     dot: DotFn | None = None,
+    apply_block: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> list[CGResult]:
     """Block-Jacobi-PCG over a row-stacked (nrhs, n) RHS block.
 
@@ -143,6 +144,11 @@ def pcg_block(
     iteration instead of one per column) is the whole optimisation.
     Converged columns are compacted out so they stop iterating — and
     stop being charged — at exactly the solo path's iteration count.
+
+    ``apply_block``, when given, applies the operator to the whole
+    (k, n) row block in one sweep (the matrix-free sum-factorised
+    apply batches its leading axes); it must produce the same values
+    and charges as k row-wise ``apply_a`` calls.
     """
     b = np.ascontiguousarray(np.asarray(b, dtype=np.float64))
     diag = np.asarray(diag, dtype=np.float64)
@@ -192,9 +198,12 @@ def pcg_block(
             resid = resid[~conv]
             if idx.size == 0:
                 return results  # type: ignore[return-value]
-        ap = np.empty_like(p)
-        for j in range(idx.size):
-            ap[j] = apply_a(p[j])
+        if apply_block is not None:
+            ap = np.ascontiguousarray(apply_block(p))
+        else:
+            ap = np.empty_like(p)
+            for j in range(idx.size):
+                ap[j] = apply_a(p[j])
         pap = np.array([dot(p[j], ap[j]) for j in range(idx.size)])
         if np.any(pap <= 0.0):
             raise np.linalg.LinAlgError("pcg: operator not positive definite")

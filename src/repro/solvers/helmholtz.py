@@ -24,6 +24,7 @@ from ..assembly.condensation import CondensedOperator
 from ..assembly.global_system import AssembledOperator, project_dirichlet
 from ..assembly.space import FunctionSpace
 from ..linalg.cg import pcg, pcg_block
+from ..linalg.counters import charge
 
 __all__ = ["HelmholtzDirect", "HelmholtzCG", "solve_poisson"]
 
@@ -53,7 +54,7 @@ class _HelmholtzBase:
         self.space = space
         self.lam = float(lam)
         self.dirichlet_tags = tuple(dirichlet_tags)
-        self.elem_mats = space.elemental_matrices("helmholtz", self.lam)
+        self._elem_mats: list[np.ndarray] | None = None
         if self.dirichlet_tags:
             self.dirichlet_dofs, _ = project_dirichlet(
                 space, self.dirichlet_tags, lambda x, y: 0.0
@@ -65,6 +66,14 @@ class _HelmholtzBase:
                 "pure-Neumann Poisson problem is singular; fix a Dirichlet "
                 "part or use lam > 0"
             )
+
+    @property
+    def elem_mats(self) -> list[np.ndarray]:
+        """Tabulated elemental matrices, built on first access only —
+        the matrix-free CG backend never touches them."""
+        if self._elem_mats is None:
+            self._elem_mats = self.space.elemental_matrices("helmholtz", self.lam)
+        return self._elem_mats
 
     def rhs_for(self, f: ScalarFn | np.ndarray) -> np.ndarray:
         """Assembled load vector of the forcing (weak form of -lap u + lam u = f)."""
@@ -110,20 +119,98 @@ class HelmholtzDirect(_HelmholtzBase):
 
 
 class HelmholtzCG(_HelmholtzBase):
-    """Jacobi-preconditioned CG backend (the NekTar-ALE solver)."""
+    """Jacobi-preconditioned CG backend (the NekTar-ALE solver).
 
-    def __init__(self, space, lam=0.0, dirichlet_tags=(), tol=1e-10, maxiter=None):
+    ``matrix_free`` selects how the CG matvec runs:
+
+    * ``False`` — assemble the global sparse operator once and apply it
+      as a counted CSR spmv (the original path; kept as the oracle),
+    * ``True`` — never assemble anything: each matvec is the
+      sum-factorised elemental apply of
+      :meth:`FunctionSpace.operator_apply` (O(P^3) per quad element)
+      and the Jacobi diagonal comes from
+      :meth:`FunctionSpace.operator_diagonal`.
+
+    The default (``None``) follows ``space.sumfact``, so all-quad
+    meshes go matrix-free automatically.  Both paths produce the same
+    solutions to solver tolerance; their ledger profiles differ
+    ("spmv" vs the sum-factorised "dgemm"/"mfree-metric" charges).
+    """
+
+    def __init__(
+        self,
+        space,
+        lam=0.0,
+        dirichlet_tags=(),
+        tol=1e-10,
+        maxiter=None,
+        matrix_free: bool | None = None,
+    ):
         super().__init__(space, lam, dirichlet_tags)
         self.tol = tol
         self.maxiter = maxiter
-        self.a_full = space.assemble(self.elem_mats)
+        if matrix_free is None:
+            matrix_free = space.sumfact
+        self.matrix_free = bool(matrix_free)
         mask = np.ones(space.ndof, dtype=bool)
         mask[self.dirichlet_dofs] = False
         self.free = np.nonzero(mask)[0]
-        self.a_uu = self.a_full[np.ix_(self.free, self.free)].tocsr()
-        self.a_uk = self.a_full[np.ix_(self.free, self.dirichlet_dofs)].tocsr()
-        self.diag = np.asarray(self.a_uu.diagonal())
+        if self.matrix_free:
+            self.a_full = self.a_uu = self.a_uk = None
+            self.diag = space.operator_diagonal("helmholtz", self.lam)[self.free]
+        else:
+            self.a_full = space.assemble(self.elem_mats)
+            self.a_uu = self.a_full[np.ix_(self.free, self.free)].tocsr()
+            self.a_uk = self.a_full[
+                np.ix_(self.free, self.dirichlet_dofs)
+            ].tocsr()
+            self.diag = np.asarray(self.a_uu.diagonal())
         self.last_iterations = 0
+
+    def _apply_free(self, v: np.ndarray) -> np.ndarray:
+        """A_uu @ v for one vector or a row-stacked block of them.
+
+        Matrix-free: zero-extend the free dofs into a full coefficient
+        vector, run the global sum-factorised apply, restrict back.
+        (Dirichlet columns vanish because the extension is zero there.)
+        Dense: counted CSR spmv, charged like AssembledOperator.
+        """
+        if self.matrix_free:
+            full = np.zeros(v.shape[:-1] + (self.space.ndof,))
+            full[..., self.free] = v
+            return self.space.operator_apply("helmholtz", full, self.lam)[
+                ..., self.free
+            ]
+        charge(
+            2.0 * self.a_uu.nnz,
+            12.0 * self.a_uu.nnz + 16.0 * v.shape[-1],
+            "spmv",
+        )
+        return self.a_uu @ v
+
+    def _lift(self, rhs_free: np.ndarray, dv: np.ndarray) -> np.ndarray:
+        """rhs_free - A_uk @ dv: move known Dirichlet values to the RHS.
+
+        ``rhs_free``/``dv`` may carry one leading block axis.  The
+        matrix-free form extends the boundary values by zero and takes
+        the free rows of one global apply.
+        """
+        if self.matrix_free:
+            ext = np.zeros(dv.shape[:-1] + (self.space.ndof,))
+            ext[..., self.dirichlet_dofs] = dv
+            lift = self.space.operator_apply("helmholtz", ext, self.lam)[
+                ..., self.free
+            ]
+            return rhs_free - lift
+        nrhs = dv.shape[0] if dv.ndim == 2 else 1
+        charge(
+            nrhs * 2.0 * self.a_uk.nnz,
+            nrhs * 12.0 * self.a_uk.nnz,
+            "dirichlet-lift",
+        )
+        if dv.ndim == 2:
+            return rhs_free - (self.a_uk @ dv.T).T
+        return rhs_free - self.a_uk @ dv
 
     def solve(self, f, g=None) -> np.ndarray:
         return self.solve_rhs(self.rhs_for(f), self.bc_values(g))
@@ -135,11 +222,11 @@ class HelmholtzCG(_HelmholtzBase):
         if self.dirichlet_dofs.size:
             if dirichlet_values is None:
                 dirichlet_values = np.zeros(self.dirichlet_dofs.size)
-            b = rhs[self.free] - self.a_uk @ dirichlet_values
+            b = self._lift(rhs[self.free], np.asarray(dirichlet_values))
         else:
             b = rhs[self.free]
         res = pcg(
-            lambda v: self.a_uu @ v,
+            self._apply_free,
             b,
             self.diag,
             tol=self.tol,
@@ -159,7 +246,9 @@ class HelmholtzCG(_HelmholtzBase):
 
     def _solve_rhs_many(self, rhs: np.ndarray, dirichlet_values) -> np.ndarray:
         """Row-stacked multi-RHS path: one block-Jacobi-PCG sweep whose
-        per-column iterates and charges match ``nrhs`` solo solves."""
+        per-column iterates and charges match ``nrhs`` solo solves; the
+        matrix-free backend applies the whole block per iteration in a
+        single batched elemental sweep."""
         nrhs = rhs.shape[0]
         dv = None
         if self.dirichlet_dofs.size:
@@ -172,15 +261,16 @@ class HelmholtzCG(_HelmholtzBase):
                     dv = np.broadcast_to(dv, (nrhs, nd))
                 if dv.shape != (nrhs, nd):
                     raise ValueError("dirichlet_values shape mismatch")
-            b = rhs[:, self.free] - (self.a_uk @ dv.T).T
+            b = self._lift(rhs[:, self.free], dv)
         else:
             b = rhs[:, self.free]
         results = pcg_block(
-            lambda v: self.a_uu @ v,
+            self._apply_free,
             b,
             self.diag,
             tol=self.tol,
             maxiter=self.maxiter,
+            apply_block=self._apply_free if self.matrix_free else None,
         )
         bad = [res for res in results if not res.converged]
         if bad:

@@ -294,6 +294,10 @@ class _TensorLayout:
     def from_tensor(self, c: Array) -> Array:
         return c[self.pq[:, 0], self.pq[:, 1]]
 
+    def from_tensor_batched(self, c: Array) -> Array:
+        """(..., P+1, P+1) tensor stacks -> (..., nmodes) modal stacks."""
+        return c[..., self.pq[:, 0], self.pq[:, 1]]
+
 
 class QuadExpansionMixin:
     """Sum-factorised evaluation for tensor-product (quad) expansions.
@@ -341,6 +345,50 @@ class QuadExpansionMixin:
         d2 = self._contract(c.T, tl.d1, tl.b1)  # derivative in xi2
         return d1.ravel(), d2.ravel()
 
+    # -- adjoint (inner-product) contractions: quadrature grid -> modes ------
+
+    def _contract_t(self, v: Array, left: Array, right: Array) -> Array:
+        """Adjoint of :meth:`_contract`:
+        out[p, q] = sum_ij right[p, i] left[q, j] V[j, i] via two counted
+        dgemm calls.  ``right`` tabulates xi1 (fast index i), ``left``
+        xi2 (slow index j), exactly as in the forward contraction."""
+        from ..linalg import blas
+
+        tl = self.tensor_layout()
+        tmp = np.zeros((tl.np1, tl.n1))
+        blas.dgemm(1.0, left, v, 0.0, tmp)  # tmp[q, i]
+        out = np.zeros((tl.np1, tl.np1))
+        blas.dgemm(1.0, right, tmp, 0.0, out, transb=True)  # out[p, q]
+        return out
+
+    _IPRODUCT_TABLES = {0: ("b1", "b1"), 1: ("d1", "b1"), 2: ("b1", "d1")}
+
+    def _iproduct_tables(self, deriv: int) -> tuple[Array, Array]:
+        """(right, left) 1-D factor tables of the basis (deriv=0) or of
+        its reference derivative d/dxi1 (deriv=1) / d/dxi2 (deriv=2)."""
+        tl = self.tensor_layout()
+        r, lft = self._IPRODUCT_TABLES[deriv]
+        return getattr(tl, r), getattr(tl, lft)
+
+    def iproduct_sumfact(self, fvals: Array, deriv: int = 0) -> Array:
+        """Inner product of weighted quadrature values against the basis
+        in O(P^3): equivalent to ``phi @ fvals`` (deriv=0),
+        ``dphi1 @ fvals`` (deriv=1) or ``dphi2 @ fvals`` (deriv=2);
+        ``fvals`` must already carry the quadrature/metric weights."""
+        tl = self.tensor_layout()
+        v = np.asarray(fvals, dtype=np.float64).reshape(tl.n1, tl.n1)
+        right, left = self._iproduct_tables(deriv)
+        return tl.from_tensor(self._contract_t(v, left, right))
+
+    def forward_sumfact(self, fvals: Array) -> Array:
+        """L2 projection with the load inner product sum-factorised:
+        same mass solve as :meth:`Expansion2D.forward`, O(P^3) rhs."""
+        fvals = np.asarray(fvals, dtype=np.float64)
+        rhs = self.iproduct_sumfact(self.weights * np.ravel(fvals))
+        n = self.nmodes
+        charge(2.0 * n**3 / 3.0, 8.0 * n * n, "mass-solve")
+        return np.linalg.solve(self.mass_matrix(), rhs)
+
     # -- stacked (batched) variants: same contractions, whole element
     # -- groups per call, charged identically per element ------------------
 
@@ -371,6 +419,28 @@ class QuadExpansionMixin:
         d2 = self._contract_batched(ct, tl.d1, tl.b1)
         flat = ct.shape[:-2] + (tl.n1 * tl.n1,)
         return d1.reshape(flat), d2.reshape(flat)
+
+    def _contract_t_batched(self, v: Array, left: Array, right: Array) -> Array:
+        """Stacked :meth:`_contract_t`: ``v`` is a (..., nq1d, nq1d)
+        stack of quadrature grids, ``left``/``right`` the shared 1-D
+        factor tables."""
+        from ..linalg import blas
+
+        tl = self.tensor_layout()
+        tmp = np.zeros(v.shape[:-2] + (tl.np1, tl.n1))
+        blas.dgemm_batched(1.0, left, v, 0.0, tmp)
+        out = np.zeros(v.shape[:-2] + (tl.np1, tl.np1))
+        blas.dgemm_batched(1.0, right, tmp, 0.0, out, transb=True)
+        return out
+
+    def iproduct_sumfact_batched(self, fvals: Array, deriv: int = 0) -> Array:
+        """(..., nq) weighted value stacks -> (..., nmodes) inner
+        products against the basis (or its reference derivatives)."""
+        tl = self.tensor_layout()
+        fvals = np.asarray(fvals, dtype=np.float64)
+        v = fvals.reshape(fvals.shape[:-1] + (tl.n1, tl.n1))
+        right, left = self._iproduct_tables(deriv)
+        return tl.from_tensor_batched(self._contract_t_batched(v, left, right))
 
 
 class QuadExpansion(QuadExpansionMixin, Expansion2D):

@@ -2,6 +2,7 @@ import numpy as np
 import pytest
 
 from repro.fourier.mapping import point_chunks, transpose_to_modes, transpose_to_points
+from repro.fourier.transforms import mode_blocks
 from repro.machines.network import NetworkModel
 from repro.parallel.simmpi import VirtualCluster
 
@@ -37,12 +38,85 @@ def test_transpose_roundtrip_and_layout():
     assert full.shape == (npoints, nprocs * per)
 
 
-def test_transpose_mode_divisibility():
-    def fn(comm):
-        with pytest.raises(ValueError):
-            transpose_to_modes(comm, np.zeros((2, 5), dtype=complex), 4)
+@pytest.mark.parametrize(
+    "nmodes,nprocs",
+    [(5, 2), (7, 3), (9, 4), (5, 5), (11, 4), (6, 4)],
+)
+def test_transpose_roundtrip_uneven_modes(nmodes, nprocs):
+    """Awkward (nmodes, nprocs) pairs: the balanced-but-uneven layouts
+    mode_blocks produces round-trip exactly through both transposes."""
+    npoints = 10
 
-    VirtualCluster(2, NET).run(fn)
+    def fn(comm):
+        blocks = mode_blocks(nmodes, comm.size)
+        my = blocks[comm.rank]
+        rng = np.random.default_rng(comm.rank)
+        mine = rng.standard_normal((npoints, len(my))) + 1j * rng.standard_normal(
+            (npoints, len(my))
+        )
+        pts = transpose_to_points(comm, mine)
+        assert pts.shape[-1] == nmodes
+        back = transpose_to_modes(comm, pts, npoints)
+        assert back.shape == mine.shape
+        np.testing.assert_array_equal(back, mine)
+        return pts
+
+    res = VirtualCluster(nprocs, NET).run(fn)
+    full = np.concatenate(res, axis=0)
+    assert full.shape == (npoints, nmodes)
+
+
+def test_transpose_fused_field_axis_matches_per_field():
+    """A leading field axis rides the same transpose: bitwise-identical
+    data to the per-field loop, with one Alltoall instead of F."""
+    npoints, nprocs, per, nf = 12, 3, 2, 4
+
+    def fn(comm):
+        rng = np.random.default_rng(100 + comm.rank)
+        stack = rng.standard_normal((nf, npoints, per)) + 1j * rng.standard_normal(
+            (nf, npoints, per)
+        )
+        fused = transpose_to_points(comm, stack)
+        loop = np.stack(
+            [transpose_to_points(comm, stack[i]) for i in range(nf)]
+        )
+        assert fused.tobytes() == loop.tobytes()
+        back_f = transpose_to_modes(comm, fused, npoints)
+        back_l = np.stack(
+            [transpose_to_modes(comm, loop[i], npoints) for i in range(nf)]
+        )
+        assert back_f.tobytes() == back_l.tobytes()
+        np.testing.assert_array_equal(back_f, stack)
+
+    VirtualCluster(nprocs, NET).run(fn)
+
+
+def test_fused_transpose_conserves_wire_bytes():
+    """Fusing F fields into one Alltoall moves the same total bytes and
+    F times fewer messages than F per-field calls."""
+    npoints, nprocs, per, nf = 16, 4, 2, 6
+
+    def fn(comm):
+        rng = np.random.default_rng(comm.rank)
+        stack = rng.standard_normal((nf, npoints, per)) + 0j
+        sent0, msgs0 = comm._st.sent_bytes, comm._st.messages
+        transpose_to_points(comm, stack)
+        fused = (
+            comm._st.sent_bytes - sent0,
+            comm._st.messages - msgs0,
+        )
+        sent0, msgs0 = comm._st.sent_bytes, comm._st.messages
+        for i in range(nf):
+            transpose_to_points(comm, stack[i])
+        loop = (
+            comm._st.sent_bytes - sent0,
+            comm._st.messages - msgs0,
+        )
+        assert fused[0] == loop[0]  # wire bytes conserved
+        assert nf * fused[1] == loop[1]  # latency terms divided by F
+        return fused
+
+    VirtualCluster(nprocs, NET).run(fn)
 
 
 def test_alltoall_message_size_matches_paper_formula():
