@@ -43,6 +43,22 @@ def is_timing_key(key: str) -> bool:
     )
 
 
+def _unit(leaf: str) -> str:
+    """Display unit for a leaf key: seconds, speedup ratio, or none."""
+    if leaf.endswith(TIMING_SUFFIXES):
+        return " s"
+    if any(s in leaf for s in TIMING_SUBSTRINGS):
+        return "x"
+    return ""
+
+
+def _rel(fresh: float, baseline: float) -> str:
+    """Signed relative drift suffix, e.g. ' (+12.3%)'; empty at zero ref."""
+    if baseline == 0:
+        return ""
+    return f" ({100.0 * (fresh - baseline) / abs(baseline):+.1f}%)"
+
+
 def _walk(fresh, baseline, path, warnings, failures, timing_rtol):
     if isinstance(baseline, dict):
         if not isinstance(fresh, dict):
@@ -74,10 +90,11 @@ def _walk(fresh, baseline, path, warnings, failures, timing_rtol):
             failures.append(f"{path}: expected list, got {type(fresh).__name__}")
             return
         if len(fresh) != len(baseline):
+            # Still walk the common prefix below: one sweep-length change
+            # must not mask every other failing key in the report.
             failures.append(
                 f"{path}: length changed {len(baseline)} -> {len(fresh)}"
             )
-            return
         for i, (f_item, b_item) in enumerate(zip(fresh, baseline)):
             _walk(f_item, b_item, f"{path}[{i}]", warnings, failures, timing_rtol)
         return
@@ -87,18 +104,21 @@ def _walk(fresh, baseline, path, warnings, failures, timing_rtol):
         if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
             failures.append(f"{path}: {baseline!r} -> {fresh!r} (type change)")
             return
+        unit = _unit(leaf)
         if is_timing_key(leaf):
             ref = abs(baseline)
             drift = abs(fresh - baseline) / ref if ref > 0 else abs(fresh)
             if drift > timing_rtol:
                 warnings.append(
-                    f"{path}: timing drift {baseline:.4g} -> {fresh:.4g} "
-                    f"({100.0 * drift:.0f}% > {100.0 * timing_rtol:.0f}% rtol)"
+                    f"{path}: timing drift "
+                    f"{baseline:.4g}{unit} -> {fresh:.4g}{unit}"
+                    f"{_rel(fresh, baseline)}"
+                    f" (> {100.0 * timing_rtol:.0f}% rtol)"
                 )
         elif not math.isclose(fresh, baseline, rel_tol=0.0, abs_tol=0.0):
             failures.append(
                 f"{path}: deterministic metric changed "
-                f"{baseline!r} -> {fresh!r}"
+                f"{baseline!r} -> {fresh!r}{_rel(fresh, baseline)}"
             )
         return
     if fresh != baseline:

@@ -1,0 +1,85 @@
+"""Tier-2 benchmark: critical-path attribution in the scaling harness.
+
+``scaling_bench --smoke`` attaches the critical-path recorder to its
+largest Alltoall case and to the fault storm, and the committed
+``BENCH_critpath_smoke.json`` baseline hard-gates every attribution
+percentage.  This test asserts the shape that baseline relies on:
+full-coverage attribution, counterfactual ordering, and bit-level
+determinism of the whole critpath section across re-runs.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import scaling_bench
+from repro.obs.runlog import RunLedger
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    return scaling_bench.run_bench(smoke=True)
+
+
+def test_critpath_section_shape(smoke_results):
+    cp = smoke_results["critpath"]
+    assert set(cp) == {"alltoall", "fault_storm"}
+    for name, analysis in cp.items():
+        assert analysis["coverage"] >= 0.95, name
+        assert sum(analysis["resource_pct"].values()) == pytest.approx(100.0)
+        total = sum(analysis["resource_seconds"].values())
+        assert total == pytest.approx(analysis["covered"])
+
+
+def test_critpath_counterfactual_ordering(smoke_results):
+    cp = smoke_results["critpath"]["alltoall"]
+    mk = cp["makespan"]
+    cf = cp["counterfactuals"]
+    # The fabric comparison answered from one recorded run: OS-bypass
+    # Myrinet and the zero-latency limit both beat commodity Ethernet.
+    assert cf["swap:myrinet"] < mk
+    assert cf["zero_latency"] < mk
+
+    storm = smoke_results["critpath"]["fault_storm"]
+    scf = storm["counterfactuals"]
+    # The storm is idle-dominated (retransmit waits); removing idle is
+    # the counterfactual with teeth, and removing the stragglers can
+    # only help.
+    assert scf["zero_idle"] < storm["makespan"]
+    assert scf["remove_straggler"] <= storm["makespan"]
+
+
+def test_critpath_is_deterministic(smoke_results):
+    again = scaling_bench.run_bench(smoke=True)
+    assert json.loads(json.dumps(again["critpath"])) == json.loads(
+        json.dumps(smoke_results["critpath"])
+    )
+
+
+def test_main_writes_critpath_and_ledger(tmp_path):
+    out = tmp_path / "BENCH_scaling.json"
+    cp_out = tmp_path / "BENCH_critpath.json"
+    ledger = tmp_path / "RUNLOG.jsonl"
+    results = scaling_bench.main(
+        [
+            "--smoke",
+            "--out",
+            str(out),
+            "--critpath-out",
+            str(cp_out),
+            "--ledger",
+            str(ledger),
+        ]
+    )
+    on_disk = json.loads(cp_out.read_text())
+    assert on_disk == json.loads(json.dumps(results["critpath"]))
+
+    records = RunLedger(ledger).records(bench="scaling_bench")
+    assert len(records) == 1
+    rec = records[0]
+    assert rec["config"] == results["config"]
+    assert rec["critpath"]["alltoall"]["coverage"] >= 0.95
+    # The flattened report carries the virtual clocks as hard values
+    # and the host clocks as timings.
+    assert "alltoall.2.wall_virtual" in rec["values"]
+    assert any(k.endswith("elapsed_s") for k in rec["timings"])

@@ -58,3 +58,17 @@ def test_fourier_bench_report_shape(smoke_results):
     assert smoke_results["step_speedup"] > 0
     for key in ("fused_s", "per_field_s", "speedup"):
         assert smoke_results["stage2"][key] > 0
+
+
+def test_fourier_bench_ledger_append(tmp_path):
+    from repro.obs.runlog import RunLedger
+
+    out = tmp_path / "BENCH_fourier.json"
+    ledger = tmp_path / "RUNLOG.jsonl"
+    results = fourier_bench.main(
+        ["--smoke", "--out", str(out), "--ledger", str(ledger)]
+    )
+    records = RunLedger(ledger).records(bench="fourier_bench")
+    assert len(records) == 1
+    assert records[0]["config"] == results["config"]
+    assert "stage2.speedup" in records[0]["timings"]

@@ -15,8 +15,17 @@ from repro.apps import resilience_bench
 
 def test_resilience_bench_smoke(tmp_path):
     out = tmp_path / "BENCH_resilience.json"
-    results = resilience_bench.main(["--smoke", "--out", str(out)])
+    ledger = tmp_path / "RUNLOG.jsonl"
+    results = resilience_bench.main(
+        ["--smoke", "--out", str(out), "--ledger", str(ledger)]
+    )
     on_disk = json.loads(out.read_text())
+
+    from repro.obs.runlog import RunLedger
+
+    records = RunLedger(ledger).records(bench="resilience_bench")
+    assert len(records) == 1
+    assert records[0]["config"] == results["config"]
     assert on_disk["config"]["smoke"] is True
     assert set(on_disk["sweep"]) == {"fast-ethernet", "myrinet"}
 
@@ -24,11 +33,14 @@ def test_resilience_bench_smoke(tmp_path):
     myr = on_disk["sweep"]["myrinet"]
     rates = [p["loss_rate"] for p in eth]
     assert rates == sorted(rates) and rates[0] == 0.0
-    # Lossy TCP pays: strictly increasing wall inflation, retransmit
-    # counters engaged; OS-bypass Myrinet never enters the retransmit
-    # path, so its curve is identically 1.0 with zero counters.
+    # Lossy TCP pays: wall inflation never decreases with loss rate and
+    # the top of the curve is strictly inflated with the retransmit
+    # counters engaged (a low rate may draw zero losses in a smoke-sized
+    # run); OS-bypass Myrinet never enters the retransmit path, so its
+    # curve is identically 1.0 with zero counters.
     infl = [p["wall_inflation"] for p in eth]
-    assert all(b < a for b, a in zip(infl, infl[1:]))
+    assert all(b <= a for b, a in zip(infl, infl[1:]))
+    assert infl[-1] > infl[0] == 1.0
     assert eth[-1]["retransmits"] > 0 and eth[-1]["retransmitted_bytes"] > 0
     for p in myr:
         assert p["wall_inflation"] == 1.0 and p["retransmits"] == 0

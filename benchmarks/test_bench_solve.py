@@ -16,10 +16,18 @@ from repro.apps import solve_bench
 
 def test_solve_bench_smoke(tmp_path):
     out = tmp_path / "BENCH_solve.json"
+    ledger = tmp_path / "RUNLOG.jsonl"
     results = solve_bench.main(
-        ["--smoke", "--out", str(out), "--repeats", "1"]
+        ["--smoke", "--out", str(out), "--repeats", "1", "--ledger", str(ledger)]
     )
     assert results["charges_identical"]
+
+    from repro.obs.runlog import RunLedger
+
+    records = RunLedger(ledger).records(bench="solve_bench")
+    assert len(records) == 1
+    assert records[0]["config"] == results["config"]
+    assert "solve_speedup" in records[0]["timings"]
     on_disk = json.loads(out.read_text())
     assert on_disk["config"]["smoke"] is True
     assert set(on_disk["stages"]) == {"5:pressure-solve", "7:viscous-solve"}

@@ -17,6 +17,8 @@ Regenerate the paper's artifacts:
   python -m repro.apps.nektar_f_bench --breakdown  Table 2, Figures 13-14
   python -m repro.apps.ale_bench --breakdown 16    Table 3, Figures 15-16
   python -m repro.apps.trace_report                per-rank Perfetto trace
+  python -m repro.apps.trace_report --critical-path  + makespan attribution
+  python -m repro.apps.perf_report --ledger RUNLOG.jsonl  run-ledger trajectories
   python -m repro all                              everything at once
 
 Examples (real solver runs):

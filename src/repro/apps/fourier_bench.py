@@ -51,7 +51,8 @@ from ..linalg.counters import OpCounter
 from ..machines.catalog import NETWORKS
 from ..mesh.generators import bluff_body_mesh, rectangle_quads
 from ..ns.nektar_f import NekTarF
-from ..obs import MetricsRegistry, use_registry
+from ..obs import scoped
+from ..obs.runlog import append_bench_record
 from ..parallel.simmpi import VirtualCluster
 
 __all__ = ["PAPER", "SMOKE", "run_bench", "main"]
@@ -155,8 +156,7 @@ def _run_mode(cfg, fused: bool) -> dict:
             "bytes": bytes_,
         }
 
-    registry = MetricsRegistry()
-    with use_registry(registry):
+    with scoped() as registry:
         cluster = VirtualCluster(nprocs, NET, engine="event")
         res = cluster.run(rank_fn)
     alltoalls = registry.snapshot()["fourier.transpose.alltoalls"]["value"]
@@ -324,11 +324,19 @@ def main(argv=None) -> dict:
         "--smoke", action="store_true", help="reduced size for CI smoke runs"
     )
     parser.add_argument("--out", default="BENCH_fourier.json", help="output path")
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="append a run record to this JSONL run ledger",
+    )
     args = parser.parse_args(argv)
     results = run_bench(smoke=args.smoke)
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if args.ledger:
+        rec = append_bench_record(args.ledger, "fourier_bench", results)
+        print(f"ledger: appended {rec['fingerprint']} -> {args.ledger}")
     for name in ("fused", "per_field"):
         e = results[name]
         print(

@@ -35,7 +35,8 @@ from ..io.writers import NekTarFCheckpoint
 from ..machines.catalog import CPUS, NETWORKS
 from ..mesh.generators import rectangle_quads
 from ..ns.nektar_f import NekTarF
-from ..obs import MetricsRegistry, use_registry
+from ..obs import scoped
+from ..obs.runlog import append_bench_record
 from ..parallel.faults import CrashSpec, FaultPlan, RankFailure
 from ..parallel.simmpi import VirtualCluster
 
@@ -77,14 +78,12 @@ def _solver(comm, cfg, dt=5e-3):
 
 def _run_case(network, cfg, plan=None):
     """One (network, plan) run; returns virtual clocks and fault counters."""
-    registry = MetricsRegistry()
-
     def rank_fn(comm):
         nf = _solver(comm, cfg)
         nf.run(cfg["nsteps"])
         return comm.wall, comm.cpu_time
 
-    with use_registry(registry):
+    with scoped() as registry:
         cluster = VirtualCluster(
             2, network=network, cpu=CPUS[CPU_NAME], faults=plan
         )
@@ -214,11 +213,19 @@ def main(argv=None) -> dict:
     parser.add_argument(
         "--out", default="BENCH_resilience.json", help="output path"
     )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="append a run record to this JSONL run ledger",
+    )
     args = parser.parse_args(argv)
     results = run_bench(smoke=args.smoke)
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if args.ledger:
+        rec = append_bench_record(args.ledger, "resilience_bench", results)
+        print(f"ledger: appended {rec['fingerprint']} -> {args.ledger}")
     for label, points in results["sweep"].items():
         curve = "  ".join(
             f"{p['loss_rate']:.0%}:{p['wall_inflation']:.2f}x" for p in points

@@ -40,11 +40,12 @@ import time
 import numpy as np
 
 from ..machines.network import NetworkModel
-from ..obs import MetricsRegistry, use_registry
+from ..obs import CritPathRecorder, analyze, scoped
+from ..obs.runlog import append_bench_record
 from ..parallel.faults import FaultPlan
 from ..parallel.simmpi import VirtualCluster
 
-__all__ = ["run_bench", "main"]
+__all__ = ["NETWORK", "MYRINET", "alltoall_program", "run_bench", "main"]
 
 # A paper-plausible commodity fabric (100 Mbit/s, 10 us latency) priced
 # directly rather than via the catalog: the sweep is about scheduler
@@ -59,6 +60,19 @@ NETWORK = NetworkModel(
     busy_wait_fraction=0.1,
 )
 
+# OS-bypass counterpart at the same port count: the Myrinet/GM shape
+# from the paper's Figure 7 comparison — lower latency, faster links,
+# no per-byte protocol CPU (so TCP-style loss does not apply).  Used
+# only for the critical-path fabric-swap counterfactual: "what would
+# this recorded run have cost on the other interconnect".
+MYRINET = NetworkModel(
+    "scaling-myr",
+    latency_us=3,
+    bandwidth=250e6,
+    cpu_overhead_per_byte=0.0,
+    busy_wait_fraction=1.0,
+)
+
 RANKS_FULL = (64, 256, 1024)
 RANKS_SMOKE = (16, 64, 256)
 # Engine parity is only checked at sizes the thread engine handles
@@ -68,6 +82,7 @@ ALLTOALL_DOUBLES = (64, 512)  # per-destination chunk lengths
 RING_ROUNDS = 4
 RING_DOUBLES = 256
 SEED = 1999  # SC99
+STORM_COMPUTE_S = 2e-4  # per-exchange compute in the storm (stragglers stretch it)
 STORM_PLAN = FaultPlan(
     seed=SEED,
     loss_rate=0.05,
@@ -94,10 +109,15 @@ def _ring_program(rounds: int = RING_ROUNDS, ndoubles: int = RING_DOUBLES):
     return rank_fn
 
 
-def _alltoall_program(ndoubles_list=ALLTOALL_DOUBLES):
+def alltoall_program(ndoubles_list=ALLTOALL_DOUBLES, compute_s=0.0):
     def rank_fn(comm):
         checks = []
         for n in ndoubles_list:
+            if compute_s:
+                # Transform work between exchanges (the NekTar-F shape);
+                # nonzero only in the fault storm so its stragglers have
+                # compute to stretch.
+                comm.compute(compute_s)
             chunk = np.full(n, float(comm.rank))
             out = comm.alltoall([chunk] * comm.size)
             # Every rank contributed its own id: the received chunks
@@ -120,13 +140,13 @@ def _fingerprint(cluster):
     }
 
 
-def _run_case(nprocs, rank_fn, faults=None, engine="event"):
-    registry = MetricsRegistry()
+def _run_case(nprocs, rank_fn, faults=None, engine="event", critpath=None):
     cluster = VirtualCluster(
-        nprocs, network=NETWORK, faults=faults, engine=engine
+        nprocs, network=NETWORK, faults=faults, engine=engine,
+        critpath=critpath,
     )
     t0 = time.perf_counter()
-    with use_registry(registry):
+    with scoped() as registry:
         results = cluster.run(rank_fn)
     elapsed = time.perf_counter() - t0
     snap = registry.snapshot()
@@ -185,20 +205,29 @@ def run_bench(smoke: bool = False) -> dict:
         "config": {
             "smoke": smoke,
             "network": NETWORK.name,
+            "swap_network": MYRINET.name,
+            "critpath_ranks": rank_counts[-1],
             "rank_counts": list(rank_counts),
             "alltoall_doubles": list(ALLTOALL_DOUBLES),
             "ring_rounds": RING_ROUNDS,
             "ring_doubles": RING_DOUBLES,
             "storm_ranks": storm_ranks,
+            "storm_compute_s": STORM_COMPUTE_S,
             "seed": SEED,
         },
         "ring": [],
         "alltoall": [],
     }
+    alltoall_rec = None
     for nprocs in rank_counts:
         case, _res, _cl = _run_case(nprocs, _ring_program())
         results["ring"].append(case)
-        case, res, _cl = _run_case(nprocs, _alltoall_program())
+        # Attach the critical-path recorder at the largest sweep size:
+        # that is the point whose makespan the report must explain.
+        rec = CritPathRecorder() if nprocs == rank_counts[-1] else None
+        case, res, _cl = _run_case(nprocs, alltoall_program(), critpath=rec)
+        if rec is not None:
+            alltoall_rec = rec
         # Data correctness at every scale: each received sweep sums the
         # full rank-id range.
         expect = [float(nprocs * (nprocs - 1) // 2)] * len(ALLTOALL_DOUBLES)
@@ -206,8 +235,10 @@ def run_bench(smoke: bool = False) -> dict:
             raise AssertionError(f"alltoall data wrong at {nprocs} ranks")
         results["alltoall"].append(case)
 
+    storm_rec = CritPathRecorder()
     storm_case, _res, _cl = _run_case(
-        storm_ranks, _alltoall_program(), faults=STORM_PLAN
+        storm_ranks, alltoall_program(compute_s=STORM_COMPUTE_S),
+        faults=STORM_PLAN, critpath=storm_rec,
     )
     if storm_case["retransmits"] <= 0:
         raise AssertionError("fault storm injected no retransmits")
@@ -219,13 +250,13 @@ def run_bench(smoke: bool = False) -> dict:
     results["fault_storm"] = storm_case
 
     results["parity"] = [
-        _parity_check(n, _alltoall_program())
+        _parity_check(n, alltoall_program())
         for n in rank_counts
         if n <= PARITY_MAX_RANKS
     ] + [
         _parity_check(
             min(PARITY_MAX_RANKS, storm_ranks),
-            _alltoall_program(),
+            alltoall_program(),
             faults=STORM_PLAN,
         )
     ]
@@ -236,6 +267,43 @@ def run_bench(smoke: bool = False) -> dict:
     walls = [c["wall_virtual"] for c in results["alltoall"]]
     if not all(b < a for b, a in zip(walls, walls[1:])):
         raise AssertionError(f"alltoall virtual wall not increasing: {walls}")
+
+    # Critical-path attribution: explain the largest sweep's makespan
+    # and the fault storm's, with the standard counterfactual suite plus
+    # a Myrinet-style fabric swap and (storm only) remove-straggler.
+    assert alltoall_rec is not None
+    alltoall_rec.graph.validate()
+    storm_rec.graph.validate()
+    swap = {"myrinet": MYRINET}
+    cp_alltoall = analyze(alltoall_rec.graph, swap_nets=swap)
+    cp_storm = analyze(
+        storm_rec.graph,
+        swap_nets=swap,
+        straggler_scale={
+            r: 1.0 / s for r, s in STORM_PLAN.stragglers.items()
+        },
+    )
+    if cp_alltoall["coverage"] < 0.95:
+        raise AssertionError(
+            f"critical path explains only {cp_alltoall['coverage']:.1%} "
+            "of the alltoall makespan"
+        )
+    mk = cp_alltoall["makespan"]
+    cf = cp_alltoall["counterfactuals"]
+    if not (cf["zero_latency"] < mk and cf["swap:myrinet"] < mk):
+        raise AssertionError(
+            "counterfactuals failed to improve on the recorded fabric: "
+            f"{cf}"
+        )
+    # The storm's makespan is made of loss RTOs plus straggler compute:
+    # wiping the idle component must strictly beat the recorded run, and
+    # remove-straggler can never make it worse.
+    scf = cp_storm["counterfactuals"]
+    if scf["zero_idle"] >= cp_storm["makespan"]:
+        raise AssertionError("zero-idle did not shrink the fault storm")
+    if scf["remove_straggler"] > cp_storm["makespan"]:
+        raise AssertionError("remove-straggler increased the storm makespan")
+    results["critpath"] = {"alltoall": cp_alltoall, "fault_storm": cp_storm}
     return results
 
 
@@ -245,11 +313,25 @@ def main(argv=None) -> dict:
         "--smoke", action="store_true", help="reduced size for CI smoke runs"
     )
     parser.add_argument("--out", default="BENCH_scaling.json", help="output path")
+    parser.add_argument(
+        "--critpath-out",
+        default=None,
+        help="also write the critical-path section to its own JSON",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="append a run record to this JSONL run ledger",
+    )
     args = parser.parse_args(argv)
     results = run_bench(smoke=args.smoke)
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if args.critpath_out:
+        with open(args.critpath_out, "w") as fh:
+            json.dump(results["critpath"], fh, indent=2, sort_keys=True)
+            fh.write("\n")
     for case in results["alltoall"]:
         print(
             f"alltoall P={case['nprocs']:5d}  "
@@ -262,6 +344,18 @@ def main(argv=None) -> dict:
         f"{results['fault_storm']['retransmits']:.0f} retransmits; "
         f"parity cases: {len(results['parity'])} identical -> {args.out}"
     )
+    cp = results["critpath"]["alltoall"]
+    pct = cp["resource_pct"]
+    dominant = max(pct, key=lambda k: pct[k])
+    print(
+        f"critical path P={results['config']['critpath_ranks']}: "
+        f"{100.0 * cp['coverage']:.1f}% attributed, "
+        f"{pct[dominant]:.0f}% {dominant}; "
+        f"myrinet swap {cp['counterfactuals']['swap:myrinet'] / cp['makespan']:.2f}x"
+    )
+    if args.ledger:
+        rec = append_bench_record(args.ledger, "scaling_bench", results)
+        print(f"ledger: appended {rec['fingerprint']} -> {args.ledger}")
     return results
 
 

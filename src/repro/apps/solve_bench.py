@@ -32,6 +32,7 @@ from ..machines.network import NetworkModel
 from ..mesh.generators import bluff_body_mesh
 from ..ns.nektar_f import NekTarF
 from ..ns.stages import STAGES
+from ..obs.runlog import append_bench_record
 from ..parallel.simmpi import VirtualCluster
 
 __all__ = ["run_bench", "main"]
@@ -173,11 +174,19 @@ def main(argv=None) -> dict:
     )
     parser.add_argument("--out", default="BENCH_solve.json", help="output path")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="append a run record to this JSONL run ledger",
+    )
     args = parser.parse_args(argv)
     results = run_bench(smoke=args.smoke, repeats=args.repeats)
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if args.ledger:
+        rec = append_bench_record(args.ledger, "solve_bench", results)
+        print(f"ledger: appended {rec['fingerprint']} -> {args.ledger}")
     for s, entry in results["stages"].items():
         print(
             f"{s:18s} blocked {entry['blocked_s'] * 1e3:9.2f} ms   "

@@ -40,19 +40,22 @@ from ..machines.catalog import MACHINES
 from ..mesh.generators import bluff_body_mesh
 from ..ns.nektar_f import NekTarF
 from ..obs import (
+    CritPathRecorder,
     MetricsRegistry,
     Trace,
     TraceEvent,
+    analyze,
     idle_by_peer,
     load_chrome_trace,
+    render_critpath_report,
+    scoped,
     stage_breakdown,
-    use_registry,
     write_chrome_trace,
 )
 from ..parallel.simmpi import VirtualCluster
 from ..reporting.tables import ascii_table, format_percentages
 
-__all__ = ["run_traced", "render_report", "main"]
+__all__ = ["run_traced", "run_critpath_pattern", "render_report", "main"]
 
 # Reduced bluff-body configuration (same as the bench smoke runs): small
 # enough for CI, big enough that every stage and both solver kinds run.
@@ -80,6 +83,7 @@ def run_traced(
     nprocs: int = 2,
     nz: int = 8,
     steps: int = 3,
+    critpath: CritPathRecorder | None = None,
 ) -> tuple[Trace, VirtualCluster, MetricsRegistry]:
     """Run the smoke NekTar-F case with tracing + metrics enabled.
 
@@ -91,13 +95,13 @@ def run_traced(
     spec = MACHINES[machine]
     net = spec.network(network)
     trace = Trace()
-    registry = MetricsRegistry()
     cluster = VirtualCluster(
         nprocs,
         net,
         cpu=spec.cpu,
         procs_per_node=spec.procs_per_node,
         trace=trace,
+        critpath=critpath,
     )
     mesh = bluff_body_mesh(**SMOKE_MESH)
     bcs = _steady_bluff_bcs()
@@ -121,9 +125,32 @@ def run_traced(
         nf.run(steps)
         return {"wall": comm.wall, "cpu": comm.cpu_time}
 
-    with use_registry(registry):
+    with scoped() as registry:
         cluster.run(rank_fn)
     return trace, cluster, registry
+
+
+def run_critpath_pattern(
+    pattern: str = "alltoall",
+    nprocs: int = 512,
+) -> dict:
+    """Critical-path analysis of a synthetic communication pattern.
+
+    Reuses the scaling benchmark's Alltoall sweep program and fabrics
+    (the commodity-Ethernet model and its OS-bypass Myrinet-style
+    counterpart) so the CLI, the CI smoke and the acceptance test all
+    exercise one code path.  Runs on the event engine only — the thread
+    oracle cannot reach these rank counts.
+    """
+    from .scaling_bench import MYRINET, NETWORK, alltoall_program
+
+    if pattern != "alltoall":
+        raise ValueError(f"unknown pattern {pattern!r} (only 'alltoall')")
+    rec = CritPathRecorder()
+    cluster = VirtualCluster(nprocs, NETWORK, engine="event", critpath=rec)
+    cluster.run(alltoall_program())
+    rec.graph.validate()
+    return analyze(rec.graph, swap_nets={"myrinet": MYRINET})
 
 
 # -- report rendering -----------------------------------------------------------
@@ -292,17 +319,71 @@ def main(argv=None) -> str:
     parser.add_argument(
         "--metrics-out", default=None, help="write the metrics snapshot JSON"
     )
+    parser.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="record the happens-before event graph and append the "
+        "makespan attribution + counterfactual block to the report",
+    )
+    parser.add_argument(
+        "--pattern",
+        default=None,
+        choices=("alltoall",),
+        help="critical-path of a synthetic pattern at --procs ranks "
+        "instead of the NekTar-F smoke run (implies --critical-path)",
+    )
+    parser.add_argument(
+        "--critpath-out",
+        default=None,
+        help="write the critical-path analysis JSON",
+    )
     args = parser.parse_args(argv)
 
+    if args.pattern is not None:
+        analysis = run_critpath_pattern(args.pattern, nprocs=args.procs)
+        report = (
+            f"Synthetic {args.pattern} sweep, {args.procs} ranks on the "
+            "scaling-bench fabric:\n" + render_critpath_report(analysis)
+        )
+        print(report)
+        if args.critpath_out:
+            with open(args.critpath_out, "w") as fh:
+                json.dump(analysis, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        if args.report_out:
+            with open(args.report_out, "w") as fh:
+                fh.write(report + "\n")
+        return report
+
     registry = None
+    critpath_block = None
     if args.trace is None:
+        recorder = CritPathRecorder() if args.critical_path else None
         trace, cluster, registry = run_traced(
             machine=args.machine,
             network=args.network,
             nprocs=args.procs,
             nz=args.nz,
             steps=args.steps,
+            critpath=recorder,
         )
+        if recorder is not None:
+            recorder.graph.validate()
+            # Swap against the machine's *other* fabrics: on RoadRunner
+            # this is the paper's Ethernet-vs-Myrinet question answered
+            # from one recorded run.
+            spec = MACHINES[args.machine]
+            swaps = {
+                kind: spec.network(kind)
+                for kind in ("ethernet", "myrinet")
+                if kind in spec.networks and kind != args.network
+            }
+            analysis = analyze(recorder.graph, swap_nets=swaps)
+            critpath_block = render_critpath_report(analysis)
+            if args.critpath_out:
+                with open(args.critpath_out, "w") as fh:
+                    json.dump(analysis, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
         path = write_chrome_trace(
             trace,
             args.out,
@@ -321,6 +402,8 @@ def main(argv=None) -> str:
     # The report derives from the JSON artifact, not solver state.
     events = load_chrome_trace(trace_path)
     report = render_report(events, machine=args.machine, registry=registry)
+    if critpath_block is not None:
+        report += "\n\n" + critpath_block
     print(report)
     if args.report_out:
         with open(args.report_out, "w") as fh:

@@ -647,6 +647,10 @@ class _StageScope:
         self._ops = OpCounter().__enter__()
         self._w0 = self.solver.comm.wall
         self._c0 = self.solver.comm.cpu_time
+        # Thread-local stage tag: lets stage-attributing observers (the
+        # critical-path recorder) name events by NekTar stage even on
+        # untraced runs.  Charge-neutral.
+        obs.push_stage(self.name)
         return self
 
     def __exit__(self, *exc):
@@ -654,6 +658,7 @@ class _StageScope:
         self._host.__exit__(*exc)
         if self.solver.charge_compute:
             self.solver.comm.compute_flops(self._ops.flops)
+        obs.pop_stage()
         cpu = self.solver.comm.cpu_time - self._c0
         wall = self.solver.comm.wall - self._w0
         self.solver.virtual.add(self.name, cpu=cpu, wall=wall)

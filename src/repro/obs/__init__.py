@@ -1,20 +1,34 @@
 """repro.obs — unified tracing & metrics layer.
 
 One subsystem for every measurement signal the reproduction produces
-(DESIGN.md section 11):
+(DESIGN.md sections 11 and 16):
 
 * :mod:`repro.obs.tracer` — thread-local nestable span tracer; rank
   timelines in virtual (``MPI_Wtime``) or host time;
 * :mod:`repro.obs.metrics` — counters / gauges / histograms (message
   sizes, PCG iterations, cache-hit rates);
 * :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON
-  exporter and the report-side re-importer.
+  exporter and the report-side re-importer;
+* :mod:`repro.obs.critpath` — happens-before event-graph recorder,
+  critical-path makespan attribution and what-if counterfactuals;
+* :mod:`repro.obs.runlog` — persistent append-only run ledger keyed by
+  config fingerprint (the cross-run memory under ``perf_report``).
 
 The emit helpers are zero-cost no-ops when nothing is installed and
 never charge the ambient OpCounter, so instrumentation cannot perturb
 the flop/byte accounting it reports on.
 """
 
+from .critpath import (
+    CritPathRecorder,
+    CriticalPath,
+    EventGraph,
+    analyze,
+    critical_path,
+    render_critpath_report,
+    swap_network,
+    whatif,
+)
 from .export import (
     idle_by_peer,
     load_chrome_trace,
@@ -28,18 +42,22 @@ from .metrics import (
     hit_rate,
     inc,
     observe,
+    scoped,
     set_gauge,
     use_registry,
 )
+from .runlog import RunLedger, config_fingerprint
 from .tracer import (
     Trace,
     TraceEvent,
     Tracer,
     current,
+    current_stage,
     emit_span,
     install,
     instant,
     span,
+    stage_scope,
 )
 
 __all__ = [
@@ -47,15 +65,18 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "current",
+    "current_stage",
     "emit_span",
     "install",
     "instant",
     "span",
+    "stage_scope",
     "MetricsRegistry",
     "active_registry",
     "hit_rate",
     "inc",
     "observe",
+    "scoped",
     "set_gauge",
     "use_registry",
     "idle_by_peer",
@@ -63,4 +84,14 @@ __all__ = [
     "stage_breakdown",
     "to_chrome_trace",
     "write_chrome_trace",
+    "CritPathRecorder",
+    "CriticalPath",
+    "EventGraph",
+    "analyze",
+    "critical_path",
+    "render_critpath_report",
+    "swap_network",
+    "whatif",
+    "RunLedger",
+    "config_fingerprint",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "MetricsRegistry",
     "active_registry",
     "use_registry",
+    "scoped",
     "inc",
     "observe",
     "set_gauge",
@@ -165,6 +166,17 @@ class MetricsRegistry:
             items = list(self._instruments.items())
         return {name: inst.snapshot() for name, inst in sorted(items)}
 
+    def reset(self) -> None:
+        """Drop every instrument, returning the registry to birth state.
+
+        For long-lived registries observing back-to-back clusters in
+        one process (the campaign-engine pattern): reset between runs
+        instead of replacing the registry, so handles held by callers
+        keep pointing at the live store.
+        """
+        with self._lock:
+            self._instruments.clear()
+
     def hit_rate(self, prefix: str) -> float | None:
         """Hit rate of a ``<prefix>.hits`` / ``<prefix>.misses`` pair."""
         with self._lock:
@@ -205,6 +217,21 @@ class _RegistryScope:
 def use_registry(registry: MetricsRegistry | None = None) -> _RegistryScope:
     """Activate a registry for the duration of a ``with`` block."""
     return _RegistryScope(registry if registry is not None else MetricsRegistry())
+
+
+def scoped(registry: MetricsRegistry | None = None) -> _RegistryScope:
+    """Activate a *freshly reset* registry for one measurement scope.
+
+    The scoped-reset helper for back-to-back clusters in one process:
+    ``with metrics.scoped() as reg:`` guarantees ``reg`` starts empty
+    (a passed-in long-lived registry is reset on entry) and deactivates
+    on exit, so consecutive runs never bleed counters into each other.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    else:
+        registry.reset()
+    return _RegistryScope(registry)
 
 
 def _instruments() -> Iterator[MetricsRegistry]:

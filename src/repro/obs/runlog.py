@@ -1,0 +1,320 @@
+"""Persistent run ledger: append-only JSONL memory across bench runs.
+
+Every bench CLI run forgets its predecessors — the regression gate
+(``benchmarks/check_regression.py``) only ever compares one fresh
+report against one committed baseline.  The ledger is the cross-run
+memory underneath the ROADMAP's campaign-engine item: each run appends
+one JSON line keyed by a **config fingerprint** (a stable hash of the
+run's configuration: machine, network, mesh/order, ranks, workload
+knobs), so ``repro.apps.perf_report`` can render per-configuration
+trajectories and flag drift against history instead of a single pin.
+
+Record schema (``schema: 1``)::
+
+    {
+      "schema": 1,
+      "bench":  "scaling_bench",
+      "ts":     "2026-08-09T12:00:00+00:00",   # host time, metadata only
+      "git_rev": "d8aafb5" | null,
+      "fingerprint": "9f3a...",                 # hash of "config" only
+      "config":  {...},                         # what was run
+      "values":  {flat key: number},            # deterministic quantities
+      "timings": {flat key: seconds},           # host timings (drift warns)
+      "critpath": {...} | null,                 # critical-path summary
+      "metrics": {...} | null                   # metrics snapshot
+    }
+
+The fingerprint hashes only ``config`` (canonical JSON), never the
+timestamp or git revision: drift *across* revisions of the same
+configuration is exactly what trend analysis must see, so the revision
+rides in the record for attribution instead of splitting the history.
+Host wall time appears only as record metadata — everything virtual
+stays deterministic, which is what lets ``perf_report`` hard-flag
+changes in ``values`` while merely warning on ``timings``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "config_fingerprint",
+    "git_rev",
+    "flatten_report",
+    "is_timing_key",
+    "split_flat",
+    "RunLedger",
+    "append_bench_record",
+    "iter_timing_drift",
+]
+
+
+def config_fingerprint(config: dict[str, Any]) -> str:
+    """Stable 16-hex-char fingerprint of a run configuration.
+
+    Canonical-JSON hash: insensitive to dict ordering, stable across
+    processes and platforms (asserted by the tier-1 tests).  Floats are
+    serialised by ``repr`` via :func:`json.dumps`, so numerically equal
+    configs hash equal.
+    """
+    blob = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def git_rev(root: str | Path | None = None) -> str | None:
+    """Short git revision of the working tree, or None outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=None if root is None else str(root),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def flatten_report(report: Any, prefix: str = "") -> dict[str, Any]:
+    """Flatten nested dicts/lists to dotted scalar leaves.
+
+    ``{"a": {"b": 1}, "c": [2, 3]}`` -> ``{"a.b": 1, "c.0": 2, "c.1": 3}``.
+    Non-scalar leaves that aren't dict/list (None, etc.) are kept as-is.
+    """
+    flat: dict[str, Any] = {}
+    if isinstance(report, dict):
+        for k in sorted(report, key=str):
+            key = f"{prefix}.{k}" if prefix else str(k)
+            flat.update(flatten_report(report[k], key))
+    elif isinstance(report, (list, tuple)):
+        for i, v in enumerate(report):
+            key = f"{prefix}.{i}" if prefix else str(i)
+            flat.update(flatten_report(v, key))
+    else:
+        flat[prefix] = report
+    return flat
+
+
+def is_timing_key(key: str) -> bool:
+    """Host-timing keys: wall-clock quantities whose drift only warns.
+
+    Mirrors the regression gate's convention — ``*_s`` suffixes and
+    speedup ratios are host measurements; everything else in a bench
+    report is treated as deterministic.
+    """
+    leaf = key.rsplit(".", 1)[-1]
+    return leaf.endswith("_s") or "speedup" in leaf or "elapsed" in leaf
+
+
+def split_flat(report: Any) -> tuple[dict[str, Any], dict[str, float]]:
+    """Flatten a bench report and split (deterministic values, timings)."""
+    values: dict[str, Any] = {}
+    timings: dict[str, float] = {}
+    for key, val in flatten_report(report).items():
+        if is_timing_key(key):
+            if isinstance(val, (int, float)) and not isinstance(val, bool):
+                timings[key] = float(val)
+        else:
+            values[key] = val
+    return values, timings
+
+
+class RunLedger:
+    """Append-only JSONL store of bench run records.
+
+    One line per run; concurrent appenders are safe at line granularity
+    (O_APPEND single write).  Reading tolerates nothing: a corrupt line
+    is a real error and raises, because silent skipping would turn the
+    drift detector blind exactly when something went wrong.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def append(
+        self,
+        bench: str,
+        config: dict[str, Any],
+        *,
+        report: Any = None,
+        values: dict[str, Any] | None = None,
+        timings: dict[str, float] | None = None,
+        critpath: dict[str, Any] | None = None,
+        metrics: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Append one run record; returns the record written.
+
+        Pass the whole bench ``report`` to have it split into
+        deterministic ``values`` and host ``timings`` automatically, or
+        pass the two dicts explicitly (explicit wins).
+        """
+        auto_values: dict[str, Any] = {}
+        auto_timings: dict[str, float] = {}
+        if report is not None:
+            auto_values, auto_timings = split_flat(report)
+        record = {
+            "schema": 1,
+            "bench": bench,
+            "ts": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "git_rev": git_rev(),
+            "fingerprint": config_fingerprint(config),
+            "config": config,
+            "values": values if values is not None else auto_values,
+            "timings": timings if timings is not None else auto_timings,
+            "critpath": critpath,
+            "metrics": metrics,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    def records(
+        self,
+        bench: str | None = None,
+        fingerprint: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """All records, oldest first, optionally filtered."""
+        if not self.path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        with self.path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: corrupt ledger line: {exc}"
+                    ) from exc
+                if bench is not None and rec.get("bench") != bench:
+                    continue
+                if fingerprint is not None and rec.get("fingerprint") != fingerprint:
+                    continue
+                out.append(rec)
+        return out
+
+    def history(self, fingerprint: str) -> list[dict[str, Any]]:
+        """Records of one configuration, oldest first."""
+        return self.records(fingerprint=fingerprint)
+
+    def fingerprints(self) -> list[str]:
+        """Distinct fingerprints in first-seen order."""
+        seen: dict[str, None] = {}
+        for rec in self.records():
+            seen.setdefault(rec.get("fingerprint", ""), None)
+        return [f for f in seen if f]
+
+    def grouped(self) -> dict[str, list[dict[str, Any]]]:
+        """fingerprint -> records (oldest first), first-seen order."""
+        groups: dict[str, list[dict[str, Any]]] = {}
+        for rec in self.records():
+            groups.setdefault(rec.get("fingerprint", ""), []).append(rec)
+        groups.pop("", None)
+        return groups
+
+
+def append_bench_record(
+    ledger_path: str | Path,
+    bench: str,
+    results: dict[str, Any],
+) -> dict[str, Any]:
+    """Append one bench CLI result dict to a ledger (the ``--ledger`` flag).
+
+    Expects the bench convention: ``results["config"]`` is the run
+    configuration (fingerprinted), an optional ``results["critpath"]``
+    block rides in the dedicated field, and everything else is the
+    report proper (split into deterministic values vs host timings).
+    """
+    report = {
+        k: v for k, v in results.items() if k not in ("config", "critpath")
+    }
+    return RunLedger(ledger_path).append(
+        bench,
+        dict(results.get("config", {})),
+        report=report,
+        critpath=results.get("critpath"),
+    )
+
+
+def iter_timing_drift(
+    history: Iterable[dict[str, Any]],
+    rtol: float = 0.5,
+) -> list[dict[str, Any]]:
+    """Trend-aware drift findings for one fingerprint's history.
+
+    Compares the latest record against the *median* of each timing key
+    over the earlier records (so one noisy run doesn't poison the
+    reference), and the latest deterministic values against the
+    immediately preceding record (any change is a hard finding).
+    Returns a list of finding dicts sorted most-severe first.
+    """
+    hist = list(history)
+    if len(hist) < 2:
+        return []
+    latest, earlier = hist[-1], hist[:-1]
+    findings: list[dict[str, Any]] = []
+    # Host timings vs median of history: warn-level drift.
+    for key, val in sorted(latest.get("timings", {}).items()):
+        samples = sorted(
+            rec["timings"][key]
+            for rec in earlier
+            if key in rec.get("timings", {})
+        )
+        if not samples:
+            continue
+        mid = len(samples) // 2
+        median = (
+            samples[mid]
+            if len(samples) % 2
+            else 0.5 * (samples[mid - 1] + samples[mid])
+        )
+        if median <= 0:
+            continue
+        ratio = val / median
+        if ratio > 1.0 + rtol or ratio < 1.0 / (1.0 + rtol):
+            findings.append(
+                {
+                    "severity": "regression" if ratio > 1.0 else "improvement",
+                    "kind": "timing",
+                    "key": key,
+                    "latest": val,
+                    "reference": median,
+                    "ratio": ratio,
+                    "nref": len(samples),
+                }
+            )
+    # Deterministic values vs the previous record: hard drift.
+    prev = earlier[-1]
+    for key, val in sorted(latest.get("values", {}).items()):
+        if key not in prev.get("values", {}):
+            continue
+        ref = prev["values"][key]
+        if isinstance(val, float) and isinstance(ref, (int, float)):
+            changed = val != ref
+        else:
+            changed = val != ref
+        if changed:
+            findings.append(
+                {
+                    "severity": "drift",
+                    "kind": "value",
+                    "key": key,
+                    "latest": val,
+                    "reference": ref,
+                }
+            )
+    order = {"drift": 0, "regression": 1, "improvement": 2}
+    findings.sort(key=lambda f: (order.get(f["severity"], 3), f["key"]))
+    return findings

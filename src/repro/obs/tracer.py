@@ -50,6 +50,10 @@ __all__ = [
     "span",
     "instant",
     "emit_span",
+    "push_stage",
+    "pop_stage",
+    "current_stage",
+    "stage_scope",
 ]
 
 _tls = threading.local()
@@ -171,9 +175,13 @@ class _SpanContext:
 
     def __enter__(self) -> "_SpanContext":
         self._t0 = self._tracer.clock()
+        if self._cat == "stage":
+            push_stage(self._name)
         return self
 
     def __exit__(self, *exc: object) -> None:
+        if self._cat == "stage":
+            pop_stage()
         self._tracer.emit_span(
             self._name, self._cat, self._t0, self._tracer.clock(), self._args
         )
@@ -231,6 +239,62 @@ class Trace:
         return len(self.tracers)
 
 
+# -- thread-local stage stack ---------------------------------------------------
+#
+# Solver stage scopes announce themselves here whether or not a tracer
+# is installed, so observers that tag events by NekTar stage (the
+# critical-path recorder) work on untraced runs too.  Per-thread, like
+# the tracer slot: each rank thread keeps its own stack.
+
+
+def push_stage(name: str) -> None:
+    """Enter a named solver stage on this thread (nests)."""
+    stack = getattr(_tls, "stages", None)
+    if stack is None:
+        _tls.stages = [name]
+    else:
+        stack.append(name)
+
+
+def pop_stage() -> None:
+    """Leave the innermost stage scope (no-op when the stack is empty)."""
+    stack = getattr(_tls, "stages", None)
+    if stack:
+        stack.pop()
+
+
+def current_stage() -> str | None:
+    """Innermost stage name on this thread, or None outside any stage."""
+    stack = getattr(_tls, "stages", None)
+    return stack[-1] if stack else None
+
+
+class _StageTag:
+    """Context manager that only maintains the stage stack (the
+    untraced path of ``span(..., cat="stage")``)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __enter__(self) -> "_StageTag":
+        push_stage(self._name)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pop_stage()
+
+
+def stage_scope(name: str) -> _StageTag:
+    """Tag this thread as being inside solver stage ``name``.
+
+    Purely a stage-stack annotation: never emits events and never reads
+    a clock, so it is charge-neutral and safe on untraced runs.
+    """
+    return _StageTag(name)
+
+
 # -- thread-local installation -------------------------------------------------
 
 
@@ -279,11 +343,16 @@ def install(tracer: Tracer | None) -> _Installation:
 # -- module-level emit helpers (no-ops when nothing is installed) ---------------
 
 
-def span(name: str, cat: str = "", **args: Any) -> _SpanContext | _NoopSpan:
-    """Time a span against the installed tracer's clock (no-op if none)."""
+def span(name: str, cat: str = "", **args: Any) -> "_SpanContext | _NoopSpan | _StageTag":
+    """Time a span against the installed tracer's clock (no-op if none).
+
+    ``cat="stage"`` spans additionally maintain the thread-local stage
+    stack — even when no tracer is installed — so stage attribution
+    (critical-path recorder) survives untraced runs.
+    """
     tr = getattr(_tls, "tracer", None)
     if tr is None:
-        return _NOOP
+        return _StageTag(name) if cat == "stage" else _NOOP
     return tr.span(name, cat, **args)
 
 

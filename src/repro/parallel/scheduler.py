@@ -310,8 +310,14 @@ class EventEngine:
         self._ndone = 0
         self._switches = 0
         self._wakeups = 0
+        self._ready_depth_max = 0
 
     # -- notifications (token holder only) ----------------------------
+
+    def _track_depth(self) -> None:
+        depth = len(self._ready)
+        if depth > self._ready_depth_max:
+            self._ready_depth_max = depth
 
     def notify_rank(self, rank: int) -> None:
         """Ready one parked rank; O(1), no-op unless it is blocked."""
@@ -320,6 +326,7 @@ class EventEngine:
             cont.state = _READY
             self._ready.append(rank)
             self._wakeups += 1
+            self._track_depth()
 
     def notify_all(self) -> None:
         """Ready every parked rank, in rank order (deterministic)."""
@@ -328,6 +335,7 @@ class EventEngine:
                 cont.state = _READY
                 self._ready.append(rank)
                 self._wakeups += 1
+        self._track_depth()
 
     # -- blocking wait (token holder only) ----------------------------
 
@@ -499,6 +507,7 @@ class EventEngine:
         self._ndone = 0
         self._switches = 0
         self._wakeups = 0
+        self._ready_depth_max = nprocs  # everyone starts ready
         self._sched_go.clear()
         try:
             while self._ndone < nprocs:
@@ -519,6 +528,7 @@ class EventEngine:
         return {
             "scheduler.switches": float(self._switches),
             "scheduler.wakeups": float(self._wakeups),
+            "scheduler.ready_depth_max": float(self._ready_depth_max),
         }
 
 

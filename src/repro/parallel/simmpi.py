@@ -70,6 +70,7 @@ from ..machines.cpu import CPUModel
 from ..machines.network import NetworkModel
 from ..obs import metrics
 from ..obs import tracer as obs
+from ..obs.critpath import CritPathRecorder
 from .faults import CrashSpec, FaultPlan, RankFailure, RecvTimeout
 from .sanitizer import DeterminismError, RaceDetector
 from .scheduler import ENGINES, SchedulerDeadlock, _PeerFailure, make_engine
@@ -220,6 +221,7 @@ class VirtualCluster:
         faults: FaultPlan | None = None,
         sanitize: bool = False,
         engine: str = "event",
+        critpath: "CritPathRecorder | None" = None,
     ):
         if nprocs < 1:
             raise ValueError("need at least one rank")
@@ -244,6 +246,11 @@ class VirtualCluster:
         self._sanitizer: RaceDetector | None = (
             RaceDetector(nprocs) if sanitize else None
         )
+        # Critical-path recorder: a pure observer of the priced event
+        # graph (repro.obs.critpath).  Same charge-parity contract as
+        # the tracer and the sanitizer: never touches virtual clocks,
+        # byte ledgers or the OpCounter.
+        self._critpath = critpath
         # Empty plan == no plan: every fault branch keys off this being
         # None, which is what makes the fault layer provably zero-cost.
         self._plan = None if faults is None or faults.is_empty else faults
@@ -413,7 +420,7 @@ class VirtualCluster:
         crashed = set(self._crashed)
         undelivered = 0.0
         for (src, dst, tag), q in sorted(self._mailbox.items()):
-            for _obj, _ready, nbytes, _vc in q:
+            for _obj, _ready, nbytes, _vc, _cp in q:
                 undelivered += nbytes
                 msg = (
                     f"rank {src} -> rank {dst} tag={tag} "
@@ -512,6 +519,10 @@ class VirtualCluster:
             if self.sanitize:
                 # Fresh clocks and access log per run.
                 self._sanitizer = RaceDetector(self.nprocs)
+        if self._critpath is not None:
+            # Fresh event graph per run, anchored at the ranks' current
+            # clocks (a reused cluster does not restart at zero).
+            self._critpath.on_run_begin(self)
         comms = [VirtualComm(self, r) for r in range(self.nprocs)]
 
         def body(comm: "VirtualComm") -> None:
@@ -534,6 +545,16 @@ class VirtualCluster:
                 self._error_flag = True
 
         self._engine.run_ranks(comms, body)
+        if self._critpath is not None:
+            # Close every rank's final compute segment (including
+            # crashed ranks, frozen at their crash clocks).
+            self._critpath.on_run_finish(self)
+        # Host-scheduler statistics as first-class obs signals, so
+        # perf_report/trace_report show them uniformly (no-ops when no
+        # registry is active).  Deterministic host-side counts: they
+        # never touch the virtual clocks.
+        for _skey, _sval in sorted(self._engine.stats().items()):
+            metrics.set_gauge(_skey, _sval)
         if self.trace is not None:
             self.trace.annotate("cluster.engine", self._engine.name)
             self.trace.annotate("cluster.engine_stats", self._engine.stats())
@@ -809,10 +830,32 @@ class VirtualComm:
         det = cl._sanitizer
         # Piggybacked vector clock: pure detector state, never priced.
         vc = None if det is None else det.on_send(self.rank)
+        cp = cl._critpath
+        cp_node = None
+        if cp is not None:
+            if plan is None:
+                cp_node = cp.on_send(
+                    rank=self.rank, dest=dest, tag=tag, nbytes=nbytes,
+                    t_start=t_start, ready=ready,
+                    wire=nbytes / net.bandwidth, overhead=overhead,
+                    nret=0, delay=0.0, factor=1.0,
+                )
+            else:
+                cp_node = cp.on_send(
+                    rank=self.rank, dest=dest, tag=tag, nbytes=nbytes,
+                    t_start=t_start, ready=ready,
+                    wire=wire, overhead=overhead,
+                    nret=nret, delay=delay, factor=factor,
+                    resend_cpu=(
+                        net.cpu_time_for_bytes(nret * nbytes) if nret else 0.0
+                    ),
+                )
         with cl._mutex:
             self._st.trace.append(f"send -> {dest} tag={tag} ({nbytes}B)")
             key = (self.rank, dest, tag)
-            cl._mailbox.setdefault(key, deque()).append((obj, ready, nbytes, vc))
+            cl._mailbox.setdefault(key, deque()).append(
+                (obj, ready, nbytes, vc, cp_node)
+            )
             # Targeted wakeup: only the receiver's wait can be
             # satisfied by this enqueue (O(1) under the event engine;
             # the thread engine broadcasts regardless).
@@ -887,7 +930,7 @@ class VirtualComm:
                     failure=crash_probe,
                 )
                 if got:
-                    obj, ready, nbytes, sender_vc = cl._mailbox[key][0]
+                    obj, ready, nbytes, sender_vc, send_node = cl._mailbox[key][0]
                     if cur_timeout is None or ready <= self._st.wall + cur_timeout:
                         cl._mailbox[key].popleft()
                         if not cl._mailbox[key]:
@@ -907,6 +950,8 @@ class VirtualComm:
             t0 = self._st.wall
             self._st.wall += cur_timeout
             self._st.cpu += net_t.busy_wait_fraction * cur_timeout
+            if cl._critpath is not None:
+                cl._critpath.on_wait_burn(self.rank, cur_timeout)
             attempts += 1
             metrics.inc("faults.recv_timeouts")
             tracer = obs.current()
@@ -925,12 +970,19 @@ class VirtualComm:
             cur_timeout = cur_timeout * backoff
         net = cl.pair_network(source, self.rank)
         overhead = net.cpu_time_for_bytes(nbytes)
+        t_busy_end = self._st.wall  # receiver's clock before blocking binds
         waited = max(0.0, ready - self._st.wall)
         self._st.wall = max(self._st.wall, ready) + overhead
         # Busy-polling MPI stacks burn CPU while waiting (the paper's
         # near-equal CPU/wall columns on vendor MPIs and GM).
         self._st.cpu += overhead + net.busy_wait_fraction * waited
         self._st.recv_bytes += nbytes
+        if cl._critpath is not None:
+            cl._critpath.on_recv(
+                rank=self.rank, source=source, tag=tag, nbytes=nbytes,
+                t_busy_end=t_busy_end, t_after=self._st.wall,
+                overhead=overhead, send_node=send_node,
+            )
         tracer = obs.current()
         if tracer is not None:
             if waited > 0.0:
@@ -964,7 +1016,8 @@ class VirtualComm:
     # -- collectives -----------------------------------------------------------------
 
     def _collective(
-        self, kind: str, contribution: Any, pricing, combine, entry_size=None
+        self, kind: str, contribution: Any, pricing, combine, entry_size=None,
+        breakdown=None,
     ):
         """Generic synchronising collective.
 
@@ -972,6 +1025,11 @@ class VirtualComm:
         where ``sizes`` maps rank -> the ``entry_size`` summary it
         passed (empty unless the collective supplies one);
         combine(all_data) -> per-rank output (called once).
+
+        breakdown(data, sizes) -> (components, meta) decomposes the
+        priced duration ``t_done - t_start`` into critical-path
+        resources (must sum to it exactly); only called when a
+        critical-path recorder is attached.
         """
         cl = self.cluster
         if cl._plan is not None:
@@ -1021,10 +1079,22 @@ class VirtualComm:
             if cl._sanitizer is not None:
                 cl._sanitizer.collective_arrive(key, self.rank)
             coll.t_start = max(coll.t_start, self._st.wall)
+            cp = cl._critpath
+            if cp is not None:
+                cp.on_collective_arrive(key, self.rank, self._st.wall)
             if coll.arrived == coll.expected:
                 coll.t_done = pricing(coll.t_start, coll.data, coll.sizes)
                 coll.out = combine(coll.data)
                 cl._coll_seq[kind] = seq + 1
+                if cp is not None:
+                    if breakdown is not None:
+                        comps, meta = breakdown(coll.data, coll.sizes)
+                    else:
+                        comps = {"latency": coll.t_done - coll.t_start}
+                        meta = {"kind": kind, "n": self.size}
+                    cp.on_collective_complete(
+                        key, coll.t_start, coll.t_done, comps, meta
+                    )
                 # Everyone parked at this rendezvous is now releasable.
                 cl._engine.notify_all()
             else:
@@ -1050,6 +1120,8 @@ class VirtualComm:
             coll.released += 1
             out, t_done = coll.out, coll.t_done
             t_sync = coll.t_start  # final: all ranks have arrived
+            if cl._critpath is not None:
+                cl._critpath.on_collective_release(key, self.rank)
             if cl._sanitizer is not None:
                 # A completed collective orders every pre-arrival event
                 # on any rank before every post-release event on all.
@@ -1083,11 +1155,21 @@ class VirtualComm:
 
     def barrier(self) -> None:
         net = self.cluster.network
+
+        def breakdown(data, sizes):
+            total = net.barrier_time(self.size)
+            lat = net.allreduce_time(self.size, 0)
+            return (
+                {"latency": lat, "bandwidth": total - lat},
+                {"kind": "barrier", "n": self.size, "nbytes": 8},
+            )
+
         self._collective(
             "barrier",
             None,
             lambda t0, data, sizes: t0 + net.barrier_time(self.size),
             lambda data: None,
+            breakdown=breakdown,
         )
 
     def alltoall(self, chunks: list[Any]) -> list[Any]:
@@ -1166,6 +1248,52 @@ class VirtualComm:
                 )
             return t
 
+        def breakdown(data, sizes):
+            # Mirrors ``pricing`` term by term so the components sum to
+            # the priced duration: latency from a zero-byte evaluation
+            # (rounds x latency, stretch included), the rest of the
+            # base cost is wire occupancy, plus protocol overhead and
+            # the loss surcharge split into RTO idle vs resend wire.
+            m = max(sizes.values()) if sizes else 0
+            base = stretch * net.alltoall_time(self.size, m)
+            lat = stretch * net.alltoall_time(self.size, 0)
+            comps = {"latency": lat, "bandwidth": base - lat, "overhead": overhead}
+            meta = {
+                "kind": "alltoall",
+                "n": self.size,
+                "nbytes": m,
+                "stretch": stretch,
+                "obytes": copied,
+            }
+            if plan is not None and plan.loss_applies(net) and self.size > 1:
+                wire = m / net.bandwidth
+                best = best_delay = 0.0
+                best_res = 0
+                first = True
+                for s in range(self.size):
+                    tot = sum(
+                        plan.retransmit_delay(nr) + nr * wire
+                        for d in range(self.size)
+                        if d != s
+                        for nr in (
+                            plan.collective_retransmits("alltoall", seq_f, s, d),
+                        )
+                    )
+                    if first or tot > best:
+                        first = False
+                        best = tot
+                        rets = [
+                            plan.collective_retransmits("alltoall", seq_f, s, d)
+                            for d in range(self.size)
+                            if d != s
+                        ]
+                        best_delay = sum(plan.retransmit_delay(nr) for nr in rets)
+                        best_res = sum(rets)
+                comps["idle"] = best_delay
+                comps["bandwidth"] += best - best_delay
+                meta["ebytes"] = best_res * m
+            return comps, meta
+
         out = self._collective(
             "alltoall",
             chunks,
@@ -1174,6 +1302,7 @@ class VirtualComm:
                 r: [data[s][r] for s in range(self.size)] for r in sorted(data)
             },
             entry_size=nbytes,
+            breakdown=breakdown,
         )
         return out[me]
 
@@ -1199,7 +1328,17 @@ class VirtualComm:
                 return min(vals) if not isinstance(vals[0], np.ndarray) else np.minimum.reduce(vals)
             raise ValueError(f"unknown op {op!r}")
 
-        return self._collective(f"allreduce-{op}", value, pricing, combine)
+        def breakdown(data, sizes):
+            total = net.allreduce_time(self.size, nbytes)
+            lat = net.allreduce_time(self.size, 0)
+            return (
+                {"latency": lat, "bandwidth": total - lat},
+                {"kind": "allreduce", "n": self.size, "nbytes": nbytes},
+            )
+
+        return self._collective(
+            f"allreduce-{op}", value, pricing, combine, breakdown=breakdown
+        )
 
     def bcast(self, value: Any, root: int = 0) -> Any:
         net = self.cluster.network
@@ -1209,7 +1348,23 @@ class VirtualComm:
             hops = math.ceil(math.log2(self.size)) if self.size > 1 else 0
             return t0 + hops * net.send_time(nbytes)
 
-        return self._collective("bcast", value if self.rank == root else None, pricing, lambda data: data[root])
+        def breakdown(data, sizes):
+            nbytes = payload_bytes(data[root])
+            hops = math.ceil(math.log2(self.size)) if self.size > 1 else 0
+            total = hops * net.send_time(nbytes)
+            lat = hops * net.send_time(0)
+            return (
+                {"latency": lat, "bandwidth": total - lat},
+                {"kind": "bcast", "n": self.size, "nbytes": nbytes},
+            )
+
+        return self._collective(
+            "bcast",
+            value if self.rank == root else None,
+            pricing,
+            lambda data: data[root],
+            breakdown=breakdown,
+        )
 
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         net = self.cluster.network
@@ -1218,17 +1373,38 @@ class VirtualComm:
         def pricing(t0, data, sizes):
             return t0 + (self.size - 1) * net.send_time(nbytes)
 
+        def breakdown(data, sizes):
+            total = (self.size - 1) * net.send_time(nbytes)
+            lat = (self.size - 1) * net.send_time(0)
+            return (
+                {"latency": lat, "bandwidth": total - lat},
+                {"kind": "gather", "n": self.size, "nbytes": nbytes},
+            )
+
         out = self._collective(
-            "gather", value, pricing, lambda data: [data[r] for r in sorted(data)]
+            "gather", value, pricing,
+            lambda data: [data[r] for r in sorted(data)],
+            breakdown=breakdown,
         )
         return out if self.rank == root else None
 
     def allgather(self, value: Any) -> list[Any]:
+        net = self.cluster.network
         nbytes = payload_bytes(value)
 
         def pricing(t0, data, sizes):
-            return t0 + self.cluster.network.allreduce_time(self.size, nbytes)
+            return t0 + net.allreduce_time(self.size, nbytes)
+
+        def breakdown(data, sizes):
+            total = net.allreduce_time(self.size, nbytes)
+            lat = net.allreduce_time(self.size, 0)
+            return (
+                {"latency": lat, "bandwidth": total - lat},
+                {"kind": "allgather", "n": self.size, "nbytes": nbytes},
+            )
 
         return self._collective(
-            "allgather", value, pricing, lambda data: [data[r] for r in sorted(data)]
+            "allgather", value, pricing,
+            lambda data: [data[r] for r in sorted(data)],
+            breakdown=breakdown,
         )

@@ -1,0 +1,110 @@
+"""perf_report CLI: trajectories over the run ledger, drift gating.
+
+The acceptance scenario: a configuration with a 3-run history plus a
+fourth run whose host timing doubled must be flagged as a regression
+(and ``--strict`` must turn that into a nonzero exit).
+"""
+
+import pytest
+
+from repro.apps import perf_report
+from repro.obs.runlog import RunLedger, config_fingerprint
+
+CFG = {"mesh": "bluff", "order": 8, "nprocs": 16, "smoke": True}
+
+
+@pytest.fixture()
+def regressed_ledger(tmp_path):
+    """3 steady runs + a 4th whose elapsed_s doubled (values steady)."""
+    path = tmp_path / "RUNLOG.jsonl"
+    lg = RunLedger(path)
+    for elapsed in (1.0, 1.05, 0.98, 2.0):
+        lg.append(
+            "scaling_bench",
+            CFG,
+            report={"wall_virtual": 3.25, "elapsed_s": elapsed},
+        )
+    return lg
+
+
+def test_regression_flagged_against_three_run_history(regressed_ledger):
+    text, findings = perf_report.render_perf_report(regressed_ledger)
+    assert len(findings) == 1
+    f = findings[0]
+    assert f["severity"] == "regression"
+    assert f["key"] == "elapsed_s"
+    assert f["ratio"] == pytest.approx(2.0)
+    assert f["fingerprint"] == config_fingerprint(CFG)
+    assert "[regression] elapsed_s" in text
+    assert "1 timing regression(s)" in text
+
+
+def test_trajectory_table_shows_every_run(regressed_ledger):
+    text, _ = perf_report.render_perf_report(regressed_ledger)
+    assert f"scaling_bench @ {config_fingerprint(CFG)} (4 run(s))" in text
+    # Every run is one row, keyed 0..3, with the headline timing column.
+    for i in range(4):
+        assert f"| {i} |" in text
+    assert "elapsed_s" in text
+
+
+def test_steady_history_reports_no_findings(tmp_path):
+    lg = RunLedger(tmp_path / "lg.jsonl")
+    for elapsed in (1.0, 1.1, 0.95):
+        lg.append("fourier_bench", CFG, report={"elapsed_s": elapsed})
+    text, findings = perf_report.render_perf_report(lg)
+    assert findings == []
+    assert "steady: no drift against history" in text
+
+
+def test_deterministic_drift_reported(tmp_path):
+    lg = RunLedger(tmp_path / "lg.jsonl")
+    lg.append("solve_bench", CFG, report={"wall_virtual": 2.0})
+    lg.append("solve_bench", CFG, report={"wall_virtual": 2.5})
+    text, findings = perf_report.render_perf_report(lg)
+    assert [f["severity"] for f in findings] == ["drift"]
+    assert "deterministic key changed" in text
+    assert "1 deterministic drift(s)" in text
+
+
+def test_filters_by_bench_and_fingerprint(regressed_ledger, tmp_path):
+    other_cfg = dict(CFG, nprocs=32)
+    regressed_ledger.append("other_bench", other_cfg, report={"v": 1})
+    text, findings = perf_report.render_perf_report(
+        regressed_ledger, bench="scaling_bench"
+    )
+    assert "other_bench" not in text and len(findings) == 1
+    text, _ = perf_report.render_perf_report(
+        regressed_ledger, fingerprint=config_fingerprint(other_cfg)
+    )
+    assert "other_bench" in text and "scaling_bench" not in text
+
+
+def test_main_strict_gates_on_regression(regressed_ledger, capsys, tmp_path):
+    out = tmp_path / "perf_report.txt"
+    rc = perf_report.main(
+        [
+            "--ledger",
+            str(regressed_ledger.path),
+            "--strict",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 1
+    captured = capsys.readouterr().out
+    assert "[regression] elapsed_s" in captured
+    assert out.read_text().strip() in captured
+
+
+def test_main_not_strict_returns_zero(regressed_ledger, capsys):
+    assert perf_report.main(["--ledger", str(regressed_ledger.path)]) == 0
+    capsys.readouterr()
+
+
+def test_main_empty_ledger(tmp_path, capsys):
+    rc = perf_report.main(
+        ["--ledger", str(tmp_path / "nope.jsonl"), "--strict"]
+    )
+    assert rc == 0
+    assert "no matching records" in capsys.readouterr().out

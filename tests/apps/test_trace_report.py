@@ -98,3 +98,75 @@ def test_main_report_only_mode(trace_path, capsys, tmp_path):
     captured = capsys.readouterr().out
     assert "Roofline" in captured
     assert out.read_text().strip() in captured
+
+
+# -- --critical-path mode -------------------------------------------------------
+
+
+def test_run_critpath_pattern_smoke():
+    analysis = trace_report.run_critpath_pattern("alltoall", nprocs=16)
+    assert analysis["coverage"] >= 0.95
+    mk = analysis["makespan"]
+    cf = analysis["counterfactuals"]
+    # The paper's question answered without a re-run: the OS-bypass
+    # fabric and the zero-latency limit must both beat the recording.
+    assert cf["swap:myrinet"] < mk
+    assert cf["zero_latency"] < mk
+
+
+def test_run_critpath_pattern_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown pattern"):
+        trace_report.run_critpath_pattern("ring")
+
+
+def test_main_pattern_mode(capsys, tmp_path):
+    cp_out = tmp_path / "critpath.json"
+    report = trace_report.main(
+        [
+            "--pattern",
+            "alltoall",
+            "--procs",
+            "8",
+            "--critpath-out",
+            str(cp_out),
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert "Synthetic alltoall sweep, 8 ranks" in captured
+    assert "Critical path" in report
+    analysis = json.loads(cp_out.read_text())
+    assert analysis["coverage"] >= 0.95
+    assert "swap:myrinet" in analysis["counterfactuals"]
+
+
+def test_main_critical_path_nektar_f(capsys, tmp_path):
+    """NekTar-F run with the recorder: the report gains the makespan
+    attribution block, and the counterfactual answers Ethernet-vs-
+    Myrinet from the one recorded run."""
+    cp_out = tmp_path / "critpath.json"
+    report = trace_report.main(
+        [
+            "--procs",
+            "2",
+            "--steps",
+            "1",
+            "--critical-path",
+            "--out",
+            str(tmp_path / "trace.json"),
+            "--critpath-out",
+            str(cp_out),
+        ]
+    )
+    capsys.readouterr()
+    assert "Critical path" in report
+    assert "Roofline" in report  # the base report survives intact
+    analysis = json.loads(cp_out.read_text())
+    assert analysis["coverage"] >= 0.95
+    # The default run is on Ethernet; the machine's other fabric is the
+    # swap target.
+    assert "swap:myrinet" in analysis["counterfactuals"]
+    assert (
+        analysis["counterfactuals"]["swap:myrinet"] <= analysis["makespan"]
+    )
+    # Stage attribution reaches the solver's stage names.
+    assert any(s.startswith("2:") for s in analysis["by_stage"])

@@ -141,6 +141,9 @@ def _transpose_fingerprint(engine, nf, nprocs, nmodes, npoints, seed):
         "metrics": sorted(
             (k, tuple(sorted(v.items())))
             for k, v in registry.snapshot().items()
+            # scheduler.* gauges describe the engine itself, not the
+            # simulated program, and legitimately differ per engine.
+            if not k.startswith("scheduler.")
         ),
         "vector_clocks": cluster._sanitizer.clocks(),
     }

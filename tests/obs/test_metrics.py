@@ -81,3 +81,41 @@ def test_use_registry_activates_and_restores():
     assert reg.snapshot()["n"]["value"] == 2.0
     assert inner.snapshot()["n"]["value"] == 1.0
     assert metrics.hit_rate("anything") is None
+
+
+def test_registry_reset_returns_to_birth_state():
+    reg = MetricsRegistry()
+    reg.counter("n").inc(3)
+    reg.histogram("h").observe(2.0)
+    assert reg.snapshot() != {}
+    reg.reset()
+    assert reg.snapshot() == {}
+    # Instruments created after a reset start from zero.
+    reg.counter("n").inc(1)
+    assert reg.snapshot()["n"]["value"] == 1.0
+
+
+def test_scoped_fresh_registry_per_scope():
+    with metrics.scoped() as first:
+        metrics.inc("n", 2)
+        assert metrics.active_registry() is first
+    with metrics.scoped() as second:
+        metrics.inc("n", 5)
+    assert metrics.active_registry() is None
+    # Back-to-back scopes never bleed counters into each other.
+    assert first is not second
+    assert first.snapshot()["n"]["value"] == 2.0
+    assert second.snapshot()["n"]["value"] == 5.0
+
+
+def test_scoped_resets_long_lived_registry_on_entry():
+    reg = MetricsRegistry()
+    reg.counter("stale").inc(7)
+    with metrics.scoped(reg) as active:
+        # The campaign-engine pattern: same registry object, reset on
+        # entry so handles held by callers keep pointing at live state.
+        assert active is reg
+        assert reg.snapshot() == {}
+        metrics.inc("fresh")
+    assert reg.snapshot() == {"fresh": {"type": "counter", "value": 1.0}}
+    assert "stale" not in reg.snapshot()

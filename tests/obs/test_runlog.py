@@ -1,0 +1,196 @@
+"""Run-ledger: round-trip, fingerprint stability, drift detection."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.runlog import (
+    RunLedger,
+    append_bench_record,
+    config_fingerprint,
+    flatten_report,
+    is_timing_key,
+    iter_timing_drift,
+    split_flat,
+)
+
+CFG = {"mesh": "bluff", "order": 8, "nz": 32, "nprocs": 8, "smoke": False}
+
+
+# ------------------------------------------------------------- fingerprints
+
+
+def test_fingerprint_key_order_insensitive():
+    a = {"x": 1, "y": {"a": 2.5, "b": [1, 2]}}
+    b = {"y": {"b": [1, 2], "a": 2.5}, "x": 1}
+    assert config_fingerprint(a) == config_fingerprint(b)
+    assert len(config_fingerprint(a)) == 16
+
+
+def test_fingerprint_sensitive_to_values():
+    assert config_fingerprint({"n": 1}) != config_fingerprint({"n": 2})
+    assert config_fingerprint({"n": 1}) != config_fingerprint({"m": 1})
+
+
+def test_fingerprint_stable_across_processes():
+    """The ledger key must not depend on hash randomisation (PYTHONHASHSEED
+    varies per process) — records from different runs must group."""
+    here = config_fingerprint(CFG)
+    code = (
+        "import sys, json; sys.path.insert(0, 'src'); "
+        "from repro.obs.runlog import config_fingerprint; "
+        f"print(config_fingerprint(json.loads({json.dumps(CFG)!r})))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert out.stdout.strip() == here
+
+
+# ------------------------------------------------------------- flatten/split
+
+
+def test_flatten_report_dotted_keys():
+    flat = flatten_report({"a": {"b": 1}, "c": [2, {"d": 3}], "e": None})
+    assert flat == {"a.b": 1, "c.0": 2, "c.1.d": 3, "e": None}
+
+
+def test_split_flat_timing_convention():
+    values, timings = split_flat(
+        {
+            "stage2": {"fused_s": 0.5, "speedup": 2.0, "alltoalls": 4.0},
+            "wall_virtual": 1.25,
+            "identical": True,
+        }
+    )
+    assert timings == {"stage2.fused_s": 0.5, "stage2.speedup": 2.0}
+    assert values == {
+        "stage2.alltoalls": 4.0,
+        "wall_virtual": 1.25,
+        "identical": True,
+    }
+    assert is_timing_key("x.elapsed") and not is_timing_key("bytes_total")
+
+
+# ------------------------------------------------------------- ledger I/O
+
+
+def test_append_and_read_roundtrip(tmp_path):
+    lg = RunLedger(tmp_path / "ledger.jsonl")
+    rec = lg.append(
+        "scaling_bench",
+        CFG,
+        report={"wall_virtual": 2.0, "elapsed_s": 0.1},
+        critpath={"makespan": 2.0},
+        metrics={"comm.sends": 12.0},
+    )
+    assert rec["schema"] == 1
+    assert rec["fingerprint"] == config_fingerprint(CFG)
+    got = lg.records()
+    assert len(got) == 1
+    assert got[0]["values"] == {"wall_virtual": 2.0}
+    assert got[0]["timings"] == {"elapsed_s": 0.1}
+    assert got[0]["critpath"] == {"makespan": 2.0}
+    assert got[0]["config"] == CFG
+
+    # Filters.
+    assert lg.records(bench="scaling_bench") == got
+    assert lg.records(bench="other") == []
+    assert lg.history(rec["fingerprint"]) == got
+    assert lg.fingerprints() == [rec["fingerprint"]]
+
+
+def test_grouping_by_fingerprint(tmp_path):
+    lg = RunLedger(tmp_path / "ledger.jsonl")
+    other = dict(CFG, nprocs=16)
+    lg.append("b", CFG, report={"v": 1})
+    lg.append("b", other, report={"v": 2})
+    lg.append("b", CFG, report={"v": 3})
+    groups = lg.grouped()
+    assert len(groups) == 2
+    fp = config_fingerprint(CFG)
+    assert [r["values"]["v"] for r in groups[fp]] == [1, 3]
+
+
+def test_corrupt_line_raises(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    lg = RunLedger(path)
+    lg.append("b", CFG, report={})
+    with path.open("a") as fh:
+        fh.write("{not json\n")
+    with pytest.raises(ValueError, match="corrupt ledger line"):
+        lg.records()
+
+
+def test_missing_ledger_is_empty(tmp_path):
+    lg = RunLedger(tmp_path / "nope.jsonl")
+    assert lg.records() == []
+    assert lg.fingerprints() == []
+
+
+def test_append_bench_record_convention(tmp_path):
+    results = {
+        "config": CFG,
+        "critpath": {"makespan": 1.0},
+        "sweep": {"wall_virtual": 2.0, "elapsed_s": 0.25},
+    }
+    rec = append_bench_record(tmp_path / "lg.jsonl", "scaling_bench", results)
+    assert rec["critpath"] == {"makespan": 1.0}
+    # config/critpath are NOT duplicated into the flattened report.
+    assert rec["values"] == {"sweep.wall_virtual": 2.0}
+    assert rec["timings"] == {"sweep.elapsed_s": 0.25}
+
+
+# ------------------------------------------------------------- drift findings
+
+
+def _hist(timing_runs, value_runs=None):
+    hist = []
+    for i, t in enumerate(timing_runs):
+        vals = value_runs[i] if value_runs else {"wall_virtual": 2.0}
+        hist.append({"timings": {"elapsed_s": t}, "values": vals})
+    return hist
+
+
+def test_drift_needs_history():
+    assert iter_timing_drift(_hist([1.0])) == []
+
+
+def test_timing_regression_vs_median():
+    findings = iter_timing_drift(_hist([1.0, 1.1, 0.95, 2.1]))
+    assert len(findings) == 1
+    f = findings[0]
+    assert f["severity"] == "regression" and f["kind"] == "timing"
+    assert f["reference"] == pytest.approx(1.0)  # median of first three
+    assert f["ratio"] == pytest.approx(2.1)
+
+
+def test_timing_improvement_and_tolerance():
+    assert iter_timing_drift(_hist([1.0, 1.2, 1.1])) == []
+    findings = iter_timing_drift(_hist([1.0, 1.0, 0.4]))
+    assert findings[0]["severity"] == "improvement"
+
+
+def test_single_noisy_run_does_not_poison_reference():
+    # One 10x outlier in the middle of history: median ignores it.
+    assert iter_timing_drift(_hist([1.0, 10.0, 1.05, 1.1])) == []
+
+
+def test_value_drift_is_hard_finding():
+    hist = _hist(
+        [1.0, 1.0],
+        value_runs=[{"wall_virtual": 2.0}, {"wall_virtual": 2.5}],
+    )
+    findings = iter_timing_drift(hist)
+    assert len(findings) == 1
+    assert findings[0]["severity"] == "drift"
+    assert findings[0]["key"] == "wall_virtual"
+    # Severity order: drift sorts before timing findings.
+    hist[-1]["timings"]["elapsed_s"] = 99.0
+    findings = iter_timing_drift(hist)
+    assert [f["severity"] for f in findings] == ["drift", "regression"]

@@ -99,7 +99,13 @@ def run_fingerprint(
             for st in cluster.ranks
         ],
         "rank_traces": cluster.rank_traces(),
-        "metrics": canon(registry.snapshot()),
+        "metrics": canon(
+            {
+                k: v
+                for k, v in registry.snapshot().items()
+                if not k.startswith("scheduler.")
+            }
+        ),
         "events": {
             r: [
                 (e.name, e.cat, e.ts, e.dur, e.rank, canon(e.args), e.ph)
