@@ -16,10 +16,11 @@ Usage::
     python benchmarks/check_regression.py FRESH.json BASELINE.json
         [--timing-rtol 0.5]
 
-Exit status 0 when no hard failures (warnings allowed), 1 otherwise.
-The committed smoke baselines live in ``benchmarks/baselines/``; CI
-regenerates the fresh reports with ``--smoke`` and compares
-smoke-vs-smoke.
+Exit codes follow the repo-wide convention (``repro.util.cli``):
+0 when no hard failures (warnings allowed), 1 on gate failure, 2 on
+usage errors (missing or unparsable report files).  The committed
+smoke baselines live in ``benchmarks/baselines/``; CI regenerates the
+fresh reports with ``--smoke`` and compares smoke-vs-smoke.
 """
 
 from __future__ import annotations
@@ -147,8 +148,14 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    fresh = json.loads(Path(args.fresh).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
+    try:
+        fresh = json.loads(Path(args.fresh).read_text())
+        baseline = json.loads(Path(args.baseline).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        # Usage error (2), distinct from a gate failure (1): the gate
+        # never ran, so CI must not read this as "regression detected".
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     warnings, failures = compare(fresh, baseline, timing_rtol=args.timing_rtol)
 
     for w in warnings:

@@ -8,13 +8,20 @@ renders each configuration's trajectory — timestamp, git revision,
 headline timings — and flags drift the trend-aware way:
 
 * **host timings** (``*_s`` keys, speedups): the latest run is compared
-  against the *median* of its history, so one noisy run neither fires
-  nor poisons the reference — findings are ``regression`` /
-  ``improvement`` and warn by default;
+  against the *median* of its history — with the latest run itself
+  excluded from the reference (self-comparison would dampen real
+  regressions), so one noisy run neither fires nor poisons the
+  reference — findings are ``regression`` / ``improvement`` and warn by
+  default.  A two-run history still compares, but its findings are
+  downgraded to ``suspect-*`` severity: one reference sample cannot
+  tell a regression from a noisy first run;
 * **deterministic values** (virtual clocks, charge counters, critical
   path attribution): any change against the immediately preceding
   record is a ``drift`` finding — on the virtual machine these have no
   noise, so a change is a code change.
+
+Histories are keyed by ``(bench, fingerprint)``: two benches that
+happen to share a config fingerprint never pool their trajectories.
 
 Run::
 
@@ -22,17 +29,21 @@ Run::
         [--bench scaling_bench] [--fingerprint abc123...]
         [--timing-rtol 0.5] [--strict] [--out perf_report.txt]
 
-``--strict`` exits nonzero when any ``drift`` or ``regression`` finding
-fires, turning the report into a gate.
+``--strict`` exits :data:`~repro.util.cli.EXIT_GATE` (1) when any
+``drift`` or ``regression`` finding fires, turning the report into a
+gate (``suspect-*`` findings warn but do not gate); a missing or
+corrupt ledger is a usage error (exit 2).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from ..obs.runlog import RunLedger, iter_timing_drift
 from ..reporting.tables import ascii_table
+from ..util.cli import EXIT_GATE, EXIT_OK, usage_error
 
 __all__ = ["render_perf_report", "main"]
 
@@ -102,10 +113,10 @@ def render_perf_report(
 ) -> tuple[str, list[dict]]:
     """Render the full report; returns (text, all drift findings)."""
     groups = {
-        fp: recs
-        for fp, recs in ledger.grouped().items()
-        if (fingerprint is None or fp == fingerprint)
-        and (bench is None or any(r.get("bench") == bench for r in recs))
+        key: recs
+        for key, recs in ledger.grouped_by_bench().items()
+        if (fingerprint is None or key[1] == fingerprint)
+        and (bench is None or key[0] == bench)
     }
     if not groups:
         return f"run ledger {ledger.path}: no matching records", []
@@ -114,7 +125,7 @@ def render_perf_report(
         f"record(s), {len(groups)} configuration(s)"
     ]
     all_findings: list[dict] = []
-    for fp, records in groups.items():
+    for (_bench, fp), records in groups.items():
         parts += ["", _trajectory_table(fp, records)]
         findings = iter_timing_drift(records, rtol=timing_rtol)
         for f in findings:
@@ -128,11 +139,15 @@ def render_perf_report(
             parts.append("  first record: no history to compare against")
     n_drift = sum(1 for f in all_findings if f["severity"] == "drift")
     n_reg = sum(1 for f in all_findings if f["severity"] == "regression")
+    n_suspect = sum(
+        1 for f in all_findings if f["severity"].startswith("suspect-")
+    )
     parts += [
         "",
         f"summary: {n_drift} deterministic drift(s), "
         f"{n_reg} timing regression(s), "
-        f"{len(all_findings) - n_drift - n_reg} other finding(s)",
+        f"{n_suspect} low-confidence (nref=1) finding(s), "
+        f"{len(all_findings) - n_drift - n_reg - n_suspect} other finding(s)",
     ]
     return "\n".join(parts), all_findings
 
@@ -161,18 +176,24 @@ def main(argv=None) -> int:
         "--out", default=None, help="also write the report to a file"
     )
     args = parser.parse_args(argv)
-    report, findings = render_perf_report(
-        RunLedger(args.ledger),
-        bench=args.bench,
-        fingerprint=args.fingerprint,
-        timing_rtol=args.timing_rtol,
-    )
+    if not Path(args.ledger).exists():
+        return usage_error(f"run ledger not found: {args.ledger}")
+    try:
+        report, findings = render_perf_report(
+            RunLedger(args.ledger),
+            bench=args.bench,
+            fingerprint=args.fingerprint,
+            timing_rtol=args.timing_rtol,
+        )
+    except ValueError as exc:  # corrupt ledger line
+        return usage_error(str(exc))
     print(report)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report + "\n")
+    # suspect-* findings (single-sample reference) warn but never gate.
     bad = [f for f in findings if f["severity"] in ("drift", "regression")]
-    return 1 if (args.strict and bad) else 0
+    return EXIT_GATE if (args.strict and bad) else EXIT_OK
 
 
 if __name__ == "__main__":

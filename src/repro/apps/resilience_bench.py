@@ -25,18 +25,18 @@ deterministic properties of the pricing model, hard-gated by
 from __future__ import annotations
 
 import argparse
-import json
+import sys
 import tempfile
 
 import numpy as np
 
 from ..assembly.space import FunctionSpace
+from ..campaign.client import bench_client, run_cli
 from ..io.writers import NekTarFCheckpoint
 from ..machines.catalog import CPUS, NETWORKS
 from ..mesh.generators import rectangle_quads
 from ..ns.nektar_f import NekTarF
 from ..obs import scoped
-from ..obs.runlog import append_bench_record
 from ..parallel.faults import CrashSpec, FaultPlan, RankFailure
 from ..parallel.simmpi import VirtualCluster
 
@@ -205,6 +205,20 @@ def run_bench(smoke: bool = False) -> dict:
     return results
 
 
+def _summary(results: dict) -> None:
+    for label, points in results["sweep"].items():
+        curve = "  ".join(
+            f"{p['loss_rate']:.0%}:{p['wall_inflation']:.2f}x" for p in points
+        )
+        print(f"{label:14s} wall inflation  {curve}")
+    cr = results["crash_restart"]
+    print(
+        f"crash at step {cr['crash_step']}, restarted from "
+        f"{cr['restart_step']} ({cr['steps_lost']} step(s) replayed), "
+        f"recovered bitwise: {cr['recovered_bitwise']}"
+    )
+
+
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -220,25 +234,10 @@ def main(argv=None) -> dict:
     )
     args = parser.parse_args(argv)
     results = run_bench(smoke=args.smoke)
-    with open(args.out, "w") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    if args.ledger:
-        rec = append_bench_record(args.ledger, "resilience_bench", results)
-        print(f"ledger: appended {rec['fingerprint']} -> {args.ledger}")
-    for label, points in results["sweep"].items():
-        curve = "  ".join(
-            f"{p['loss_rate']:.0%}:{p['wall_inflation']:.2f}x" for p in points
-        )
-        print(f"{label:14s} wall inflation  {curve}")
-    cr = results["crash_restart"]
-    print(
-        f"crash at step {cr['crash_step']}, restarted from "
-        f"{cr['restart_step']} ({cr['steps_lost']} step(s) replayed), "
-        f"recovered bitwise: {cr['recovered_bitwise']} -> {args.out}"
+    return bench_client(
+        "resilience_bench", results, args.out, args.ledger, summary=_summary
     )
-    return results
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(run_cli(main))

@@ -35,13 +35,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 
 import numpy as np
 
+from ..campaign.client import bench_client, run_cli
 from ..machines.network import NetworkModel
 from ..obs import CritPathRecorder, analyze, scoped
-from ..obs.runlog import append_bench_record
 from ..parallel.faults import FaultPlan
 from ..parallel.simmpi import VirtualCluster
 
@@ -325,13 +326,16 @@ def main(argv=None) -> dict:
     )
     args = parser.parse_args(argv)
     results = run_bench(smoke=args.smoke)
-    with open(args.out, "w") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
     if args.critpath_out:
         with open(args.critpath_out, "w") as fh:
             json.dump(results["critpath"], fh, indent=2, sort_keys=True)
             fh.write("\n")
+    return bench_client(
+        "scaling_bench", results, args.out, args.ledger, summary=_summary
+    )
+
+
+def _summary(results: dict) -> None:
     for case in results["alltoall"]:
         print(
             f"alltoall P={case['nprocs']:5d}  "
@@ -342,7 +346,7 @@ def main(argv=None) -> dict:
     print(
         f"fault storm P={results['fault_storm']['nprocs']}: "
         f"{results['fault_storm']['retransmits']:.0f} retransmits; "
-        f"parity cases: {len(results['parity'])} identical -> {args.out}"
+        f"parity cases: {len(results['parity'])} identical"
     )
     cp = results["critpath"]["alltoall"]
     pct = cp["resource_pct"]
@@ -353,11 +357,7 @@ def main(argv=None) -> dict:
         f"{pct[dominant]:.0f}% {dominant}; "
         f"myrinet swap {cp['counterfactuals']['swap:myrinet'] / cp['makespan']:.2f}x"
     )
-    if args.ledger:
-        rec = append_bench_record(args.ledger, "scaling_bench", results)
-        print(f"ledger: appended {rec['fingerprint']} -> {args.ledger}")
-    return results
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(run_cli(main))

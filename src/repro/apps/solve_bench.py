@@ -23,16 +23,16 @@ for the blocked sweeps to engage.
 from __future__ import annotations
 
 import argparse
-import json
+import sys
 import time
 
 from ..assembly.space import FunctionSpace
+from ..campaign.client import bench_client, run_cli
 from ..linalg.counters import OpCounter
 from ..machines.network import NetworkModel
 from ..mesh.generators import bluff_body_mesh
 from ..ns.nektar_f import NekTarF
 from ..ns.stages import STAGES
-from ..obs.runlog import append_bench_record
 from ..parallel.simmpi import VirtualCluster
 
 __all__ = ["run_bench", "main"]
@@ -167,6 +167,19 @@ def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
     return results
 
 
+def _summary(results: dict) -> None:
+    for s, entry in results["stages"].items():
+        print(
+            f"{s:18s} blocked {entry['blocked_s'] * 1e3:9.2f} ms   "
+            f"per-RHS {entry['reference_s'] * 1e3:9.2f} ms   "
+            f"speedup {entry['speedup']:6.2f}x"
+        )
+    print(
+        f"solve speedup (5+7): {results['solve_speedup']:.2f}x   "
+        f"whole step: {results['step_speedup']:.2f}x"
+    )
+
+
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -181,24 +194,10 @@ def main(argv=None) -> dict:
     )
     args = parser.parse_args(argv)
     results = run_bench(smoke=args.smoke, repeats=args.repeats)
-    with open(args.out, "w") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    if args.ledger:
-        rec = append_bench_record(args.ledger, "solve_bench", results)
-        print(f"ledger: appended {rec['fingerprint']} -> {args.ledger}")
-    for s, entry in results["stages"].items():
-        print(
-            f"{s:18s} blocked {entry['blocked_s'] * 1e3:9.2f} ms   "
-            f"per-RHS {entry['reference_s'] * 1e3:9.2f} ms   "
-            f"speedup {entry['speedup']:6.2f}x"
-        )
-    print(
-        f"solve speedup (5+7): {results['solve_speedup']:.2f}x   "
-        f"whole step: {results['step_speedup']:.2f}x -> {args.out}"
+    return bench_client(
+        "solve_bench", results, args.out, args.ledger, summary=_summary
     )
-    return results
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(run_cli(main))

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 
 from ..assembly.space import FunctionSpace
 from ..machines.catalog import MACHINES
@@ -54,8 +55,9 @@ from ..obs import (
 )
 from ..parallel.simmpi import VirtualCluster
 from ..reporting.tables import ascii_table, format_percentages
+from ..util.cli import EXIT_OK, usage_error
 
-__all__ = ["run_traced", "run_critpath_pattern", "render_report", "main"]
+__all__ = ["run_traced", "run_critpath_pattern", "render_report", "main", "cli"]
 
 # Reduced bluff-body configuration (same as the bench smoke runs): small
 # enough for CI, big enough that every stage and both solver kinds run.
@@ -411,5 +413,20 @@ def main(argv=None) -> str:
     return report
 
 
+def cli(argv=None) -> int:
+    """Process entry point with the shared exit-code convention.
+
+    ``main`` keeps returning the rendered report string (the tier-1
+    tests consume it); this wrapper maps unreadable/corrupt inputs to
+    usage-error exits.  The report has no acceptance gate, so the only
+    nonzero outcome is :data:`~repro.util.cli.EXIT_USAGE`.
+    """
+    try:
+        main(argv)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+        return usage_error(f"{type(exc).__name__}: {exc}")
+    return EXIT_OK
+
+
 if __name__ == "__main__":
-    main()
+    sys.exit(cli())

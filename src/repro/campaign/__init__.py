@@ -1,0 +1,34 @@
+"""Scenario campaign engine: the full cross-product as a resumable service.
+
+The paper answered "fact or fiction?" one cluster at a time; the
+campaign engine answers it for a whole catalog at once.  A declarative
+job matrix (machine x network x fault plan x workload shape) expands to
+a job queue; a bounded worker pool runs each job as its own virtual
+cluster; every outcome lands in the persistent run ledger
+(:mod:`repro.obs.runlog`), which doubles as the resume store — a
+restarted campaign skips fingerprints whose latest record is ``ok`` and
+re-runs only pending/failed jobs.  Host-side operator factorizations
+are shared across jobs through a single-flight cache keyed by
+``(mesh, order, lambda, machine)``, and each job's recorded event graph
+feeds ``campaign search``: counterfactual re-pricing over the machine
+catalog without re-running anything.
+"""
+
+from .cache import OperatorCache
+from .engine import CampaignEngine, campaign_report
+from .matrix import FAULT_PLANS, JobSpec, expand_matrix, smoke_matrix
+from .search import CATALOG_CANDIDATES, search_catalog
+from .workloads import WORKLOADS
+
+__all__ = [
+    "OperatorCache",
+    "CampaignEngine",
+    "campaign_report",
+    "JobSpec",
+    "FAULT_PLANS",
+    "expand_matrix",
+    "smoke_matrix",
+    "CATALOG_CANDIDATES",
+    "search_catalog",
+    "WORKLOADS",
+]

@@ -1,0 +1,79 @@
+"""Single-flight operator/factorization cache shared across campaign jobs.
+
+Many jobs in a campaign differ only in network or fault plan: their
+host-side setup work (function spaces, banded Cholesky factorizations)
+is identical.  The cache shares those objects across concurrent workers
+with single-flight semantics — the first job to ask for a key builds
+it while later askers block on a per-key event and then reuse the
+built object, so K jobs sharing a key cost exactly one build (1 miss,
+K-1 hits) no matter how the worker pool interleaves them.
+
+The cache is **charge-neutral by construction**: it holds host-side
+Python objects only, never virtual-clock state.  A job's virtual setup
+cost is charged analytically (identical on hit or miss, see
+:mod:`repro.campaign.workloads`), so ledger values are byte-equivalent
+whatever the hit order — the property the resume test asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+__all__ = ["OperatorCache"]
+
+
+class OperatorCache:
+    """Thread-safe single-flight build cache with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._done: dict[Hashable, Any] = {}
+        self._building: dict[Hashable, threading.Event] = {}
+        self._failed: dict[Hashable, BaseException] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """Return the cached object for ``key``, building it at most once.
+
+        Waiters that arrive while another thread builds count as hits:
+        they reuse the built object without doing the work.  A failed
+        build poisons the key — every waiter and later asker sees the
+        original exception rather than silently rebuilding.
+        """
+        while True:
+            with self._lock:
+                if key in self._done:
+                    self.hits += 1
+                    return self._done[key]
+                if key in self._failed:
+                    raise self._failed[key]
+                event = self._building.get(key)
+                if event is None:
+                    self._building[key] = threading.Event()
+                    self.misses += 1
+                    break
+            event.wait()
+        try:
+            obj = build()
+        except BaseException as exc:
+            with self._lock:
+                self._failed[key] = exc
+                self._building.pop(key).set()
+            raise
+        with self._lock:
+            self._done[key] = obj
+            self._building.pop(key).set()
+        return obj
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss counters plus derived hit rate (JSON-able)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._done),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

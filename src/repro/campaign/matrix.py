@@ -1,0 +1,164 @@
+"""Declarative job matrices and their expansion to job queues.
+
+A campaign matrix names catalog entries, never model objects — it is
+plain JSON, so it can live in a file, ride in a ledger record's
+``config``, and fingerprint stably::
+
+    {
+      "nprocs": 4,
+      "machines": ["RoadRunner", "SP2-Silver"],
+      "networks": ["RoadRunner, eth-internode", "RoadRunner, myr-internode"],
+      "fault_plans": ["none", "loss"],
+      "workloads": [
+        {"workload": "ring", "rounds": 3, "ndoubles": 128},
+        {"workload": "alltoall", "ndoubles": [64], "compute_s": 0.0002},
+        {"workload": "helmholtz", "nx": 2, "ny": 2, "order": 4, "lam": 1.0}
+      ]
+    }
+
+Machines and networks cross freely — "the SP2's CPU on RoadRunner's
+Ethernet" is exactly the kind of counterfactual hardware the campaign
+exists to price.  Fault plans come from a small named catalog so a
+matrix stays declarative (a ``FaultPlan`` holds callables-adjacent
+state that does not belong in JSON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..machines.catalog import MACHINES, NETWORKS
+from ..obs.runlog import config_fingerprint
+from ..parallel.faults import CrashSpec, FaultPlan
+
+__all__ = ["JobSpec", "FAULT_PLANS", "expand_matrix", "smoke_matrix"]
+
+SEED = 1999  # SC99
+
+#: Named fault plans a matrix may reference.  ``crash`` plants an
+#: uncaught :class:`RankFailure` mid-run — the campaign records the job
+#: as failed, and a resumed campaign re-runs it (the resume test's
+#: planted failure).
+FAULT_PLANS: dict[str, FaultPlan | None] = {
+    "none": None,
+    "loss": FaultPlan(seed=SEED, loss_rate=0.05),
+    "storm": FaultPlan(
+        seed=SEED,
+        loss_rate=0.05,
+        stragglers={1: 1.5},
+        degraded_links={(0, 1): 2.0},
+    ),
+    "crash": FaultPlan(seed=SEED, crashes=(CrashSpec(rank=1, at_step=2),)),
+}
+
+
+@dataclass
+class JobSpec:
+    """One fully resolved campaign job (a single virtual-cluster run)."""
+
+    machine: str
+    network: str
+    fault_plan: str
+    workload: str
+    nprocs: int
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.machine not in MACHINES:
+            raise ValueError(f"unknown machine {self.machine!r}")
+        if self.network not in NETWORKS:
+            raise ValueError(f"unknown network {self.network!r}")
+        if self.fault_plan not in FAULT_PLANS:
+            raise ValueError(
+                f"unknown fault plan {self.fault_plan!r}; "
+                f"known: {sorted(FAULT_PLANS)}"
+            )
+        if self.nprocs < 1:
+            raise ValueError(f"bad nprocs {self.nprocs}")
+
+    @property
+    def job_id(self) -> str:
+        """Human-readable queue label (not the resume key)."""
+        return (
+            f"{self.workload}/{self.machine}/{self.network}/"
+            f"{self.fault_plan}/p{self.nprocs}"
+        )
+
+    def config(self) -> dict[str, Any]:
+        """The fingerprinted configuration (the ledger resume key)."""
+        return {
+            "campaign_schema": 1,
+            "machine": self.machine,
+            "network": self.network,
+            "fault_plan": self.fault_plan,
+            "workload": self.workload,
+            "nprocs": self.nprocs,
+            "params": dict(self.params),
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        return config_fingerprint(self.config())
+
+
+def expand_matrix(matrix: dict[str, Any]) -> list[JobSpec]:
+    """Expand a declarative matrix to its cross-product job list.
+
+    Order is deterministic (machine-major, then network, fault plan,
+    workload in listed order), so a resumed campaign walks the same
+    queue and skip decisions are reproducible.
+    """
+    try:
+        machines = list(matrix["machines"])
+        networks = list(matrix["networks"])
+        fault_plans = list(matrix["fault_plans"])
+        workloads = list(matrix["workloads"])
+    except KeyError as exc:
+        raise ValueError(f"matrix is missing required key {exc}") from None
+    nprocs = int(matrix.get("nprocs", 4))
+    jobs: list[JobSpec] = []
+    for machine in machines:
+        for network in networks:
+            for plan in fault_plans:
+                for shape in workloads:
+                    params = dict(shape)
+                    workload = params.pop("workload")
+                    jobs.append(
+                        JobSpec(
+                            machine=machine,
+                            network=network,
+                            fault_plan=plan,
+                            workload=workload,
+                            nprocs=nprocs,
+                            params=params,
+                        )
+                    )
+    fps = [j.fingerprint for j in jobs]
+    if len(fps) != len(set(fps)):
+        raise ValueError("matrix expands to duplicate job configurations")
+    return jobs
+
+
+def smoke_matrix() -> dict[str, Any]:
+    """The CI smoke matrix: 2 machines x 2 networks x 2 plans x 3 shapes.
+
+    24 jobs, each small enough that the whole campaign runs in seconds.
+    The helmholtz shape repeats its ``(mesh, order, lam, machine)``
+    cache key across the 4 network/fault combinations per machine, so
+    the operator cache hit rate is provably positive.
+    """
+    return {
+        "nprocs": 4,
+        "machines": ["RoadRunner", "SP2-Silver"],
+        "networks": [
+            "RoadRunner, eth-internode",
+            "RoadRunner, myr-internode",
+        ],
+        "fault_plans": ["none", "loss"],
+        "workloads": [
+            {"workload": "ring", "rounds": 3, "ndoubles": 128},
+            {"workload": "alltoall", "ndoubles": [64], "compute_s": 2e-4},
+            {"workload": "helmholtz", "nx": 2, "ny": 2, "order": 4, "lam": 1.0},
+        ],
+    }

@@ -75,6 +75,7 @@ __all__ = [
     "whatif",
     "swap_network",
     "analyze",
+    "aggregate_analyses",
     "render_critpath_report",
 ]
 
@@ -143,6 +144,9 @@ class EventGraph:
     def __init__(self, nprocs: int, network: "NetworkModel | None" = None):
         self.nprocs = nprocs
         self.network = network
+        # Deserialized graphs know the recorded network only by name
+        # (the model itself is not persisted); see ``network_name``.
+        self._network_name: str | None = None
         self.node_rank: list[int] = []
         self.node_kind: list[str] = []
         self.node_label: list[str] = []
@@ -156,6 +160,13 @@ class EventGraph:
     @property
     def nedges(self) -> int:
         return sum(len(es) for es in self.in_edges)
+
+    @property
+    def network_name(self) -> str | None:
+        """Name of the network the graph was recorded under, if known."""
+        if self.network is not None:
+            return self.network.name
+        return self._network_name
 
     def add_node(
         self,
@@ -221,6 +232,89 @@ class EventGraph:
             self.node_t[i] for i, es in enumerate(self.in_edges) if not es
         ]
         return min(starts, default=0.0)
+
+    # -- serialization (campaign artifacts) ------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form of the recorded graph.
+
+        The campaign engine persists each job's graph next to the run
+        ledger so ``campaign search`` can re-weight it (``whatif`` /
+        ``swap_network``) long after the run, without re-running the
+        cluster.  The network rides along by name only — counterfactual
+        passes supply their own :class:`NetworkModel`.
+        """
+        return {
+            "schema": 1,
+            "nprocs": self.nprocs,
+            "network": self.network_name,
+            # Numeric fields are normalised (counts int, weights float)
+            # so serialising a rebuilt graph is a byte-level fixed point.
+            "nodes": [
+                [
+                    int(self.node_rank[i]),
+                    self.node_kind[i],
+                    self.node_label[i],
+                    self.node_stage[i],
+                    float(self.node_t[i]),
+                ]
+                for i in range(len(self.node_t))
+            ],
+            "edges": [
+                [
+                    int(dst),
+                    int(e.src),
+                    float(e.cpu),
+                    float(e.overhead),
+                    float(e.latency),
+                    float(e.bandwidth),
+                    float(e.idle),
+                    e.kind,
+                    float(e.nbytes),
+                    float(e.ebytes),
+                    float(e.obytes),
+                    int(e.n),
+                    float(e.stretch),
+                    float(e.factor),
+                ]
+                for dst, edges in enumerate(self.in_edges)
+                for e in edges
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EventGraph":
+        """Rebuild a graph serialised by :meth:`to_dict`."""
+        if data.get("schema") != 1:
+            raise ValueError(
+                f"unknown event-graph schema {data.get('schema')!r}"
+            )
+        g = cls(int(data["nprocs"]))
+        g._network_name = data.get("network")
+        for rank, kind, label, stage, t in data["nodes"]:
+            g.add_node(int(rank), str(kind), str(label), float(t), stage)
+        for dst, src, cpu, ovh, lat, bw, idle, kind, nb, eb, ob, n, st, fa in data[
+            "edges"
+        ]:
+            g.add_edge(
+                int(dst),
+                Edge(
+                    src=int(src),
+                    cpu=float(cpu),
+                    overhead=float(ovh),
+                    latency=float(lat),
+                    bandwidth=float(bw),
+                    idle=float(idle),
+                    kind=str(kind),
+                    nbytes=float(nb),
+                    ebytes=float(eb),
+                    obytes=float(ob),
+                    n=int(n),
+                    stretch=float(st),
+                    factor=float(fa),
+                ),
+            )
+        return g
 
     def validate(self, rel: float = 1e-6) -> None:
         """Assert recorded anchors match edge-implied times.
@@ -711,20 +805,24 @@ def _swap_collective(e: Edge, new: "NetworkModel", lossy: bool) -> float:
     return cost
 
 
-def swap_network(graph: EventGraph, new: "NetworkModel") -> float:
+def swap_network(
+    graph: EventGraph, new: "NetworkModel", cpu_scale: float = 1.0
+) -> float:
     """Makespan with every communication edge re-priced under ``new``.
 
-    Compute (cpu) is untouched.  Loss surcharges (RTO idle, resend
-    wire/CPU) only survive if the new network is still kernel-mediated
-    (``cpu_overhead_per_byte > 0``) — swapping to an OS-bypass fabric
-    removes TCP loss along with its costs, mirroring
-    ``FaultPlan.loss_applies``.
+    Compute (cpu) is untouched by default; ``cpu_scale`` scales it so a
+    whole-machine swap (different CPU *and* fabric, e.g. campaign
+    ``search`` trying another catalog entry) can be priced in one pass.
+    Loss surcharges (RTO idle, resend wire/CPU) only survive if the new
+    network is still kernel-mediated (``cpu_overhead_per_byte > 0``) —
+    swapping to an OS-bypass fabric removes TCP loss along with its
+    costs, mirroring ``FaultPlan.loss_applies``.
     """
     lossy = new.cpu_overhead_per_byte > 0.0
 
     def weight(e: Edge, dst: int) -> float:
         if e.kind == "local":
-            cost = e.cpu + e.ebytes / new.bandwidth
+            cost = e.cpu * cpu_scale + e.ebytes / new.bandwidth
             cost += new.cpu_time_for_bytes(e.obytes)
             if lossy:
                 cost += e.idle
@@ -805,6 +903,59 @@ def analyze(
             for s in path.top_segments(top_k)
         ],
         "counterfactuals": counter,
+    }
+
+
+def aggregate_analyses(analyses: dict[str, dict[str, Any]]) -> dict[str, Any]:
+    """Campaign-level attribution across many per-job ``analyze()`` dicts.
+
+    ``analyses`` maps job id -> per-job analysis.  Jobs are independent
+    virtual clusters, so campaign totals are sums: total makespan is the
+    serialized cost of the campaign's work (wall-clock depends on the
+    worker pool, which is host-side and not attributable), and
+    resource/stage seconds add because each job's attribution already
+    partitions its own makespan.  Percentages are recomputed against the
+    summed makespan; ``dominant_jobs`` ranks jobs by makespan share so a
+    campaign report can lead with where the virtual time actually went.
+    """
+    if not analyses:
+        return {
+            "jobs": 0,
+            "total_makespan": 0.0,
+            "resource_seconds": dict.fromkeys(RESOURCES, 0.0),
+            "resource_pct": dict.fromkeys(RESOURCES, 0.0),
+            "by_stage": {},
+            "dominant_jobs": [],
+        }
+    total = sum(a["makespan"] for a in analyses.values())
+    res = dict.fromkeys(RESOURCES, 0.0)
+    by_stage: dict[str, float] = {}
+    for a in analyses.values():
+        for k in RESOURCES:
+            res[k] += a["resource_seconds"].get(k, 0.0)
+        for stage, secs in a["by_stage"].items():
+            by_stage[stage] = by_stage.get(stage, 0.0) + secs
+    by_stage = dict(sorted(by_stage.items()))
+    dominant = sorted(
+        analyses.items(), key=lambda kv: kv[1]["makespan"], reverse=True
+    )
+    return {
+        "jobs": len(analyses),
+        "total_makespan": total,
+        "resource_seconds": res,
+        "resource_pct": {
+            k: (100.0 * v / total if total > 0 else 0.0)
+            for k, v in res.items()
+        },
+        "by_stage": by_stage,
+        "dominant_jobs": [
+            {
+                "job": job,
+                "makespan": a["makespan"],
+                "pct": 100.0 * a["makespan"] / total if total > 0 else 0.0,
+            }
+            for job, a in dominant
+        ],
     }
 
 

@@ -18,11 +18,16 @@ Record schema (``schema: 1``)::
       "git_rev": "d8aafb5" | null,
       "fingerprint": "9f3a...",                 # hash of "config" only
       "config":  {...},                         # what was run
+      "status":  "ok" | "failed",               # job outcome (default "ok")
       "values":  {flat key: number},            # deterministic quantities
       "timings": {flat key: seconds},           # host timings (drift warns)
       "critpath": {...} | null,                 # critical-path summary
       "metrics": {...} | null                   # metrics snapshot
     }
+
+Records may carry an ``"error"`` string when ``status`` is ``failed``
+(the campaign engine records why a job died).  Older ledgers predate the
+``status`` field; readers treat a missing status as ``"ok"``.
 
 The fingerprint hashes only ``config`` (canonical JSON), never the
 timestamp or git revision: drift *across* revisions of the same
@@ -37,6 +42,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
@@ -131,10 +137,16 @@ def split_flat(report: Any) -> tuple[dict[str, Any], dict[str, float]]:
 class RunLedger:
     """Append-only JSONL store of bench run records.
 
-    One line per run; concurrent appenders are safe at line granularity
-    (O_APPEND single write).  Reading tolerates nothing: a corrupt line
-    is a real error and raises, because silent skipping would turn the
-    drift detector blind exactly when something went wrong.
+    One line per run.  Concurrent appenders — campaign workers in one
+    process, or several bench processes sharing one ledger — are safe at
+    line granularity: the record is serialised to one buffer first and
+    written with a single ``os.write`` on an ``O_APPEND`` descriptor, so
+    the kernel's atomic append positioning keeps lines from interleaving
+    (a buffered ``fh.write`` gives no such guarantee: the stdio layer
+    may flush a line in several chunks).  Reading tolerates nothing: a
+    corrupt line is a real error and raises, because silent skipping
+    would turn the drift detector blind exactly when something went
+    wrong.
     """
 
     def __init__(self, path: str | Path):
@@ -150,13 +162,19 @@ class RunLedger:
         timings: dict[str, float] | None = None,
         critpath: dict[str, Any] | None = None,
         metrics: dict[str, Any] | None = None,
+        status: str = "ok",
+        error: str | None = None,
     ) -> dict[str, Any]:
         """Append one run record; returns the record written.
 
         Pass the whole bench ``report`` to have it split into
         deterministic ``values`` and host ``timings`` automatically, or
-        pass the two dicts explicitly (explicit wins).
+        pass the two dicts explicitly (explicit wins).  ``status`` is
+        the completion marker the campaign engine resumes from: only
+        ``"ok"`` records mark a fingerprint as done.
         """
+        if status not in ("ok", "failed"):
+            raise ValueError(f"status must be 'ok' or 'failed', not {status!r}")
         auto_values: dict[str, Any] = {}
         auto_timings: dict[str, float] = {}
         if report is not None:
@@ -168,15 +186,38 @@ class RunLedger:
             "git_rev": git_rev(),
             "fingerprint": config_fingerprint(config),
             "config": config,
+            "status": status,
             "values": values if values is not None else auto_values,
             "timings": timings if timings is not None else auto_timings,
             "critpath": critpath,
             "metrics": metrics,
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        if error is not None:
+            record["error"] = str(error)
+        self._write_line(json.dumps(record, sort_keys=True))
         return record
+
+    def _write_line(self, line: str) -> None:
+        """Atomically append one line: serialise first, one os.write.
+
+        O_APPEND makes the kernel pick the offset at write time, so
+        concurrent appenders (threads or processes) cannot clobber each
+        other; emitting the whole line in a single write keeps it from
+        interleaving with another writer's line.
+        """
+        data = (line + "\n").encode("utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            written = os.write(fd, data)
+            if written != len(data):
+                raise OSError(
+                    f"short ledger write: {written} of {len(data)} bytes"
+                )
+        finally:
+            os.close(fd)
 
     def records(
         self,
@@ -224,6 +265,48 @@ class RunLedger:
         groups.pop("", None)
         return groups
 
+    def grouped_by_bench(self) -> dict[tuple[str, str], list[dict[str, Any]]]:
+        """(bench, fingerprint) -> records (oldest first), first-seen order.
+
+        The history key :mod:`repro.apps.perf_report` compares against:
+        two benches that happen to share a config fingerprint must not
+        pool their timing histories.
+        """
+        groups: dict[tuple[str, str], list[dict[str, Any]]] = {}
+        for rec in self.records():
+            fp = rec.get("fingerprint", "")
+            if not fp:
+                continue
+            groups.setdefault((str(rec.get("bench", "")), fp), []).append(rec)
+        return groups
+
+    # -- completion index (the campaign engine's resumable store) ----------------
+
+    def statuses(self, bench: str | None = None) -> dict[str, str]:
+        """fingerprint -> status of its *latest* record.
+
+        Records written before the status field default to ``"ok"``
+        (they predate failure recording, and every pre-campaign bench
+        appended only after a successful run).
+        """
+        out: dict[str, str] = {}
+        for rec in self.records(bench=bench):
+            fp = rec.get("fingerprint", "")
+            if fp:
+                out[fp] = str(rec.get("status", "ok"))
+        return out
+
+    def completed(self, bench: str | None = None) -> set[str]:
+        """Fingerprints whose latest record finished ok.
+
+        A restarted campaign skips exactly this set: pending jobs never
+        reached the ledger, and failed jobs' latest status is
+        ``"failed"``, so both re-run.
+        """
+        return {
+            fp for fp, st in self.statuses(bench=bench).items() if st == "ok"
+        }
+
 
 def append_bench_record(
     ledger_path: str | Path,
@@ -259,10 +342,23 @@ def iter_timing_drift(
     reference), and the latest deterministic values against the
     immediately preceding record (any change is a hard finding).
     Returns a list of finding dicts sorted most-severe first.
+
+    Reference-history contract (pinned by the tier-1 tests):
+
+    * the latest run is **excluded** from its own reference before the
+      median is taken — folding it in would drag the reference towards
+      the very run under test and dampen real regressions;
+    * a single-sample reference (``nref == 1``, i.e. a two-run history)
+      still compares, but the finding is downgraded to
+      ``suspect-regression`` / ``suspect-improvement``: one reference
+      run cannot distinguish "the code regressed" from "the first run
+      was noisy", so strict gates treat these as warnings.
     """
     hist = list(history)
     if len(hist) < 2:
         return []
+    # hist[:-1]: the run under test never contributes to its own
+    # reference median.
     latest, earlier = hist[-1], hist[:-1]
     findings: list[dict[str, Any]] = []
     # Host timings vs median of history: warn-level drift.
@@ -284,9 +380,12 @@ def iter_timing_drift(
             continue
         ratio = val / median
         if ratio > 1.0 + rtol or ratio < 1.0 / (1.0 + rtol):
+            severity = "regression" if ratio > 1.0 else "improvement"
+            if len(samples) == 1:
+                severity = f"suspect-{severity}"
             findings.append(
                 {
-                    "severity": "regression" if ratio > 1.0 else "improvement",
+                    "severity": severity,
                     "kind": "timing",
                     "key": key,
                     "latest": val,
@@ -315,6 +414,12 @@ def iter_timing_drift(
                     "reference": ref,
                 }
             )
-    order = {"drift": 0, "regression": 1, "improvement": 2}
-    findings.sort(key=lambda f: (order.get(f["severity"], 3), f["key"]))
+    order = {
+        "drift": 0,
+        "regression": 1,
+        "suspect-regression": 2,
+        "improvement": 3,
+        "suspect-improvement": 4,
+    }
+    findings.sort(key=lambda f: (order.get(f["severity"], 5), f["key"]))
     return findings

@@ -102,9 +102,72 @@ def test_main_not_strict_returns_zero(regressed_ledger, capsys):
     capsys.readouterr()
 
 
-def test_main_empty_ledger(tmp_path, capsys):
+def test_main_missing_ledger_is_usage_error(tmp_path, capsys):
+    # Distinct from a gate failure: the report never ran.
     rc = perf_report.main(
         ["--ledger", str(tmp_path / "nope.jsonl"), "--strict"]
     )
+    assert rc == 2
+    assert "run ledger not found" in capsys.readouterr().err
+
+
+def test_main_empty_ledger_is_clean(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    rc = perf_report.main(["--ledger", str(path), "--strict"])
     assert rc == 0
     assert "no matching records" in capsys.readouterr().out
+
+
+def test_main_corrupt_ledger_is_usage_error(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"schema": 1, "bench": "x"\n')
+    rc = perf_report.main(["--ledger", str(path), "--strict"])
+    assert rc == 2
+    assert "corrupt ledger line" in capsys.readouterr().err
+
+
+def test_median_reference_excludes_latest_run(tmp_path):
+    # History [1.0, 3.0, 5.0]: the reference must be median(1.0, 3.0)
+    # = 2.0, never median(1.0, 3.0, 5.0) = 3.0 — the run under test
+    # must not dampen its own comparison.
+    lg = RunLedger(tmp_path / "lg.jsonl")
+    for elapsed in (1.0, 3.0, 5.0):
+        lg.append("scaling_bench", CFG, report={"elapsed_s": elapsed})
+    _text, findings = perf_report.render_perf_report(lg)
+    assert len(findings) == 1
+    f = findings[0]
+    assert f["reference"] == pytest.approx(2.0)
+    assert f["ratio"] == pytest.approx(2.5)
+    assert f["nref"] == 2
+    assert f["severity"] == "regression"
+
+
+def test_two_run_history_downgraded_to_suspect(tmp_path, capsys):
+    # nref=1: a single reference sample compares but cannot gate.
+    lg = RunLedger(tmp_path / "lg.jsonl")
+    for elapsed in (1.0, 2.0):
+        lg.append("scaling_bench", CFG, report={"elapsed_s": elapsed})
+    text, findings = perf_report.render_perf_report(lg)
+    assert [f["severity"] for f in findings] == ["suspect-regression"]
+    assert findings[0]["nref"] == 1
+    assert "1 low-confidence (nref=1) finding(s)" in text
+    # --strict must NOT gate on suspect-* findings.
+    assert perf_report.main(["--ledger", str(lg.path), "--strict"]) == 0
+    capsys.readouterr()
+
+
+def test_shared_fingerprint_histories_not_pooled(tmp_path):
+    # Two benches writing the same config must keep separate
+    # trajectories: bench A's steady history must not absorb bench B's
+    # regression (the latent pooling bug the campaign engine exposed).
+    lg = RunLedger(tmp_path / "lg.jsonl")
+    for elapsed in (1.0, 1.0, 1.0):
+        lg.append("bench_a", CFG, report={"elapsed_s": elapsed})
+    for elapsed in (1.0, 1.0, 4.0):
+        lg.append("bench_b", CFG, report={"elapsed_s": elapsed})
+    text, findings = perf_report.render_perf_report(lg)
+    assert len(findings) == 1
+    assert findings[0]["severity"] == "regression"
+    assert f"bench_a @ {config_fingerprint(CFG)} (3 run(s))" in text
+    assert f"bench_b @ {config_fingerprint(CFG)} (3 run(s))" in text

@@ -335,3 +335,80 @@ def test_analyze_and_render_shapes():
     import json
 
     assert json.loads(json.dumps(a)) == a
+
+
+# ----------------------------------------------------- serialization/aggregate
+
+
+def test_graph_dict_roundtrip_preserves_everything():
+    """to_dict/from_dict: the campaign's persisted-graph contract.
+
+    A rebuilt graph must re-derive identical clocks, critical path and
+    counterfactual answers — search mode runs entirely on rebuilt
+    graphs.
+    """
+    import json as _json
+
+    rec = CritPathRecorder()
+    cl = VirtualCluster(4, ETH, critpath=rec)
+    cl.run(_mixed_program)
+    g = rec.graph
+    blob = _json.dumps(g.to_dict(), sort_keys=True)
+    g2 = EventGraph.from_dict(_json.loads(blob))
+    assert len(g2) == len(g) and g2.nedges == g.nedges
+    g2.validate()
+    assert g2.makespan() == pytest.approx(g.makespan(), rel=1e-12)
+    assert analyze(g2) == analyze(g)
+    assert swap_network(g2, MYR) == pytest.approx(
+        swap_network(g, MYR), rel=1e-12
+    )
+    # Serialising the rebuilt graph is a fixed point.
+    assert _json.dumps(g2.to_dict(), sort_keys=True) == blob
+
+
+def test_graph_from_dict_rejects_unknown_schema():
+    with pytest.raises(ValueError, match="schema"):
+        EventGraph.from_dict({"schema": 99, "nprocs": 1})
+
+
+def test_swap_network_cpu_scale():
+    """cpu_scale prices a machine swap: faster CPU shrinks local edges."""
+    rec = CritPathRecorder()
+    cl = VirtualCluster(3, ETH, critpath=rec)
+    cl.run(_mixed_program)
+    g = rec.graph
+    base = swap_network(g, MYR)
+    faster = swap_network(g, MYR, cpu_scale=0.5)
+    slower = swap_network(g, MYR, cpu_scale=4.0)
+    assert faster < base < slower
+    # Default preserves the original single-argument behaviour exactly.
+    assert swap_network(g, MYR, cpu_scale=1.0) == base
+
+
+def test_aggregate_analyses_sums_campaign_attribution():
+    from repro.obs.critpath import RESOURCES, aggregate_analyses
+
+    analyses = {}
+    for nprocs in (2, 4):
+        rec = CritPathRecorder()
+        cl = VirtualCluster(nprocs, ETH, critpath=rec)
+        cl.run(_mixed_program)
+        analyses[f"job-p{nprocs}"] = analyze(rec.graph)
+    agg = aggregate_analyses(analyses)
+    assert agg["jobs"] == 2
+    assert agg["total_makespan"] == pytest.approx(
+        sum(a["makespan"] for a in analyses.values())
+    )
+    for k in RESOURCES:
+        assert agg["resource_seconds"][k] == pytest.approx(
+            sum(a["resource_seconds"][k] for a in analyses.values())
+        )
+    assert sum(agg["resource_pct"].values()) == pytest.approx(100.0, abs=1e-4)
+    ranked = agg["dominant_jobs"]
+    assert [e["job"] for e in ranked] == sorted(
+        analyses, key=lambda j: -analyses[j]["makespan"]
+    )
+    assert sum(e["pct"] for e in ranked) == pytest.approx(100.0, abs=1e-6)
+    # Empty aggregation is well-formed (a fully resumed campaign ran 0 jobs).
+    empty = aggregate_analyses({})
+    assert empty["jobs"] == 0 and empty["total_makespan"] == 0.0
